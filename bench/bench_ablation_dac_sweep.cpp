@@ -1,0 +1,74 @@
+// Ablation: DAC provisioning sweep.
+//
+// Eq. (8) makes the input DACs the full-system bottleneck. This bench sweeps
+// the DAC count (1..64 at the paper's 6 GSa/s) and the DAC rate (at the
+// paper's 10 converters) and reports where the bottleneck crosses from the
+// DACs to the 5 GHz optical clock for each AlexNet layer — i.e. how much
+// converter hardware the paper's architecture needs before the optical core
+// is the limit.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "common/units.hpp"
+#include "core/timing_model.hpp"
+#include "nn/models.hpp"
+
+using namespace pcnna;
+namespace u = units;
+
+int main() {
+  const auto layers = nn::alexnet_conv_layers();
+
+  {
+    benchutil::DualSink sink({"NDAC", "conv1", "conv2", "conv3", "conv4",
+                              "conv5", "total", "bottleneck(conv4)"},
+                             "pcnna_ablation_dac_count.csv");
+    for (std::size_t ndac : {1u, 2u, 4u, 8u, 10u, 16u, 32u, 64u, 128u, 256u,
+                             512u, 1024u}) {
+      core::PcnnaConfig cfg = core::PcnnaConfig::paper_defaults();
+      cfg.num_input_dacs = ndac;
+      const core::TimingModel model(cfg, core::TimingFidelity::kPaper);
+      const auto net = model.network_time(layers);
+      sink.row({std::to_string(ndac),
+                format_time(net.layers[0].full_system_time),
+                format_time(net.layers[1].full_system_time),
+                format_time(net.layers[2].full_system_time),
+                format_time(net.layers[3].full_system_time),
+                format_time(net.layers[4].full_system_time),
+                format_time(net.total_full_system),
+                net.layers[3].bottleneck});
+    }
+    sink.print("Ablation - input-DAC count sweep (6 GSa/s each, paper model)");
+  }
+
+  std::cout << '\n';
+
+  {
+    benchutil::DualSink sink(
+        {"DAC rate", "conv4 O+E", "total O+E", "bottleneck(conv4)"},
+        "pcnna_ablation_dac_rate.csv");
+    for (double gsa : {1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 24.0, 48.0}) {
+      core::PcnnaConfig cfg = core::PcnnaConfig::paper_defaults();
+      cfg.input_dac.sample_rate = gsa * u::GSa;
+      const core::TimingModel model(cfg, core::TimingFidelity::kPaper);
+      const auto net = model.network_time(layers);
+      sink.row({format_fixed(gsa, 0) + " GSa/s",
+                format_time(net.layers[3].full_system_time),
+                format_time(net.total_full_system),
+                net.layers[3].bottleneck});
+    }
+    sink.print("Ablation - input-DAC rate sweep (10 DACs, paper model)");
+  }
+
+  // Where does the crossover land? Per layer: the DAC stops dominating when
+  // NDAC >= nc*m*s * fclock / dac_rate.
+  std::cout << "\nDACs needed before the optical clock becomes the bottleneck"
+               " (nc*m*s * fclock / rate):\n";
+  for (const auto& layer : layers) {
+    const double needed = static_cast<double>(layer.updated_inputs_per_location()) *
+                          5e9 / 6e9;
+    std::cout << "  " << layer.name << ": " << format_fixed(needed, 1) << '\n';
+  }
+  return 0;
+}

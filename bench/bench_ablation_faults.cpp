@@ -1,0 +1,68 @@
+// Ablation: fault tolerance of the photonic MAC (extension).
+//
+// Thermal tuners are the dominant yield risk of large MRR banks. This bench
+// sweeps the stuck-heater rate through the functional simulator and reports
+// the numerical damage: a heater stuck at the parked (zero-weight) drive
+// silently zeroes its weight, so the convolution degrades gracefully rather
+// than failing — the analog analogue of dropping synapses.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "core/optical_conv_engine.hpp"
+#include "nn/conv_ref.hpp"
+#include "nn/synth.hpp"
+
+using namespace pcnna;
+
+int main() {
+  const nn::ConvLayerParams layer{"probe", 12, 3, 1, 1, 8, 16};
+  Rng rng(9001);
+  const auto input = nn::make_input(layer, rng);
+  const auto weights = nn::make_conv_weights(layer, rng);
+  const auto bias = nn::make_conv_bias(layer, rng);
+  const auto golden = nn::conv2d_direct(input, weights, bias, layer.s, layer.p);
+  const double swing = golden.abs_max();
+
+  benchutil::DualSink sink({"stuck-heater rate", "stuck rings", "of total",
+                            "RMSE", "max |err|", "rel. to swing",
+                            "mean cal. error"},
+                           "pcnna_ablation_faults.csv");
+
+  for (double rate : {0.0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}) {
+    core::PcnnaConfig cfg = core::PcnnaConfig::paper_defaults();
+    cfg.enable_noise = false; // isolate the fault contribution
+    cfg.stuck_ring_rate = rate;
+    cfg.seed = 42;
+    core::OpticalConvEngine engine(cfg);
+    core::EngineStats stats;
+    const auto out = engine.conv2d(input, weights, bias, layer.s, layer.p,
+                                   &stats);
+    const double err_rmse = rmse(out.data(), golden.data());
+    sink.row({format_fixed(100.0 * rate, 1) + " %",
+              std::to_string(stats.stuck_rings),
+              format_fixed(100.0 * static_cast<double>(stats.stuck_rings) /
+                               static_cast<double>(stats.rings_used),
+                           2) +
+                  " %",
+              format_sci(err_rmse), format_sci(nn::max_abs_diff(out, golden)),
+              format_fixed(100.0 * nn::max_abs_diff(out, golden) / swing, 2) +
+                  " %",
+              format_sci(stats.mean_calibration_error)});
+  }
+  sink.print(
+      "Ablation - stuck-heater fault sweep (12x12x8 conv, 16 kernels, noise "
+      "off)");
+
+  std::cout << "\nReading: a stuck heater parks its ring at weight ~0, so"
+               " degradation is smooth rather than catastrophic — but not"
+               " cheap:\nRMSE grows roughly with sqrt(rate) (individual"
+               " outputs lose whole weight terms), so yield matters; ~1% dead"
+               " tuners\nalready costs a few percent RMS error. Sparse kernels"
+               " (bench_ablation_sparsity) can absorb faults by mapping zero"
+               " weights\nonto dead rings."
+            << std::endl;
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation: filtering optimization and timing model across network scales.
+//
+// The paper evaluates AlexNet only; this bench applies the same ring-count
+// and execution-time models to LeNet-5 and VGG-16 to show the scaling
+// claims generalize: filtered ring counts grow with weights (not inputs),
+// and the optical-core time depends only on the location count.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/eyeriss.hpp"
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "core/ring_count.hpp"
+#include "core/timing_model.hpp"
+#include "nn/models.hpp"
+
+using namespace pcnna;
+
+namespace {
+
+void report(const std::string& name,
+            const std::vector<nn::ConvLayerParams>& layers,
+            benchutil::DualSink& sink) {
+  const core::RingCountModel rings;
+  const core::TimingModel pcnna(core::PcnnaConfig::paper_defaults(),
+                                core::TimingFidelity::kPaper);
+  const baselines::EyerissModel eyeriss;
+
+  std::uint64_t total_filtered = 0;
+  double total_unfiltered = 0.0;
+  double total_o = 0.0, total_oe = 0.0, total_eyeriss = 0.0;
+  std::uint64_t max_bank = 0;
+  for (const auto& layer : layers) {
+    total_filtered += rings.filtered(layer);
+    total_unfiltered += static_cast<double>(rings.unfiltered(layer));
+    max_bank = std::max(max_bank, rings.filtered(layer));
+    const auto t = pcnna.layer_time(layer);
+    total_o += t.optical_core_time;
+    total_oe += t.full_system_time;
+    total_eyeriss += eyeriss.layer_time(layer);
+  }
+  sink.row({name, std::to_string(layers.size()),
+            format_count(total_unfiltered),
+            format_count(static_cast<double>(total_filtered)),
+            format_count(static_cast<double>(max_bank)),
+            format_area(rings.area(max_bank)), format_time(total_o),
+            format_time(total_oe), format_time(total_eyeriss),
+            format_count(total_eyeriss / total_oe) + " x"});
+}
+
+} // namespace
+
+int main() {
+  benchutil::DualSink sink(
+      {"network", "conv layers", "rings unfiltered", "rings filtered",
+       "largest layer (shared core)", "core area", "PCNNA(O)", "PCNNA(O+E)",
+       "Eyeriss", "O+E speedup"},
+      "pcnna_ablation_networks.csv");
+
+  report("lenet5", nn::lenet5_conv_layers(), sink);
+  report("alexnet", nn::alexnet_conv_layers(), sink);
+  report("resnet18", nn::resnet18_conv_layers(), sink);
+  report("vgg16", nn::vgg16_conv_layers(), sink);
+
+  sink.print(
+      "Ablation - receptive-field filtering and timing across networks "
+      "(paper model; shared core sized by the largest layer, SS IV)");
+
+  std::cout << "\nReading: filtered ring counts track weight counts, so the"
+               " virtually-reused single-layer core (paper SS IV)\nis sized by"
+               " the largest layer, not the whole network; the speedup column"
+               " shows the DAC-bound full system\nstill beating the electronic"
+               " baseline at every scale."
+            << std::endl;
+  return 0;
+}

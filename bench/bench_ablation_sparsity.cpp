@@ -1,0 +1,58 @@
+// Ablation: kernel value-sparsity (extension of the paper's SS II theme).
+//
+// Receptive-field filtering exploits the structural sparsity of conv
+// connections; pruned models add value sparsity on top. This bench sweeps
+// the zero fraction of synthetic AlexNet-shaped kernels and reports how
+// many rings a pruned-model design actually needs, plus the heater power
+// that parked rings stop drawing.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "core/ring_count.hpp"
+#include "core/sparsity.hpp"
+#include "nn/models.hpp"
+#include "nn/synth.hpp"
+
+using namespace pcnna;
+
+int main() {
+  const auto conv4 = nn::alexnet_conv_layers()[3];
+  const core::RingCountModel rings;
+  const core::PcnnaConfig cfg = core::PcnnaConfig::paper_defaults();
+  const core::SparsityAnalyzer analyzer;
+
+  benchutil::DualSink sink(
+      {"target sparsity", "measured", "dense rings (Eq.5)", "pruned rings",
+       "uniform-bank rings", "ring area saved", "heater power saved"},
+      "pcnna_ablation_sparsity.csv");
+
+  for (double target : {0.0, 0.1, 0.3, 0.5, 0.7, 0.8, 0.9}) {
+    Rng rng(1234);
+    nn::Tensor weights(
+        nn::Shape4{conv4.K, conv4.nc, conv4.m, conv4.m});
+    nn::fill_sparse_gaussian(weights, rng, 0.1, target);
+    const core::SparsityStats stats = analyzer.analyze(weights);
+    const std::uint64_t dense = rings.filtered(conv4);
+    const double area_saved =
+        rings.area(dense) - rings.area(stats.pruned_rings);
+    sink.row({format_fixed(target, 2), format_fixed(stats.sparsity, 3),
+              format_count(static_cast<double>(dense)),
+              format_count(static_cast<double>(stats.pruned_rings)),
+              format_count(static_cast<double>(stats.pruned_rings_uniform)),
+              format_area(area_saved),
+              format_power(analyzer.heater_power_saved(cfg, stats))});
+  }
+  sink.print(
+      "Ablation - value sparsity on AlexNet conv4 kernels (dense Eq. 5 core "
+      "vs pruned-model core)");
+
+  std::cout << "\nReading: at the 70-90% sparsity typical of magnitude-pruned"
+               " CNNs, a pruned-model PCNNA core needs 3-10x fewer rings than"
+               " Eq. 5\nand saves watts of heater power; the uniform-bank"
+               " column shows the penalty of keeping one shared bank layout"
+               " for all kernels."
+            << std::endl;
+  return 0;
+}

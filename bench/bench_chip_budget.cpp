@@ -1,0 +1,102 @@
+// Extension bench: whole-chip budget, SNR, and batch throughput.
+//
+// Three views the paper stops short of:
+//  1. chip budget — total area and peak power of the shared PCNNA core per
+//     network and allocation (the paper quotes component specs but never
+//     sums them);
+//  2. noise budget — analytical per-layer MAC SNR for AlexNet;
+//  3. batch throughput — layer-pipelining the conv stack over 1..5 cores.
+#include <iostream>
+
+#include "baselines/systolic.hpp"
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "core/chip_report.hpp"
+#include "core/noise_budget.hpp"
+#include "core/throughput.hpp"
+#include "nn/models.hpp"
+
+using namespace pcnna;
+
+int main() {
+  // --- 1. Chip budget per network and allocation. ---
+  {
+    benchutil::DualSink sink({"network", "allocation", "rings", "ring area",
+                              "total area", "laser power", "heater (peak)",
+                              "total power"},
+                             "pcnna_chip_budget.csv");
+    for (const auto& [name, layers] :
+         {std::pair{std::string("lenet5"), nn::lenet5_conv_layers()},
+          std::pair{std::string("alexnet"), nn::alexnet_conv_layers()},
+          std::pair{std::string("vgg16"), nn::vgg16_conv_layers()}}) {
+      for (auto allocation : {core::RingAllocation::kFullKernel,
+                              core::RingAllocation::kPerChannel}) {
+        core::PcnnaConfig cfg = core::PcnnaConfig::paper_defaults();
+        cfg.allocation = allocation;
+        const core::ChipReportModel model(cfg);
+        const core::ChipBudget b = model.network_budget(layers);
+        sink.row({name, core::ring_allocation_name(allocation),
+                  format_count(static_cast<double>(b.rings)),
+                  format_area(b.ring_area), format_area(b.total_area()),
+                  format_power(b.laser_power), format_power(b.heater_power),
+                  format_power(b.total_power())});
+      }
+    }
+    sink.print("Extension - shared-core chip budget (paper component specs)");
+  }
+
+  std::cout << '\n';
+
+  // --- 2. Analytical MAC SNR per AlexNet layer. ---
+  {
+    const core::NoiseBudgetModel noise(core::PcnnaConfig::paper_defaults());
+    benchutil::DualSink sink({"layer", "branch current", "sigma/pass",
+                              "MAC sigma", "ADC sigma", "MAC rms", "SNR",
+                              "dominant"},
+                             "pcnna_noise_budget.csv");
+    for (const auto& layer : nn::alexnet_conv_layers()) {
+      const auto b = noise.layer_budget(layer);
+      sink.row({layer.name, format_sci(b.mean_branch_current),
+                format_sci(b.sigma_pass), format_sci(b.mac_sigma),
+                format_sci(b.adc_quantization_sigma), format_fixed(b.mac_rms, 2),
+                format_fixed(b.snr_db, 1) + " dB", b.dominant_source});
+    }
+    sink.print("Extension - analytical MAC noise budget (paper defaults)");
+  }
+
+  std::cout << '\n';
+
+  // --- 3. Batch throughput via layer pipelining. ---
+  {
+    const core::ThroughputModel throughput(core::PcnnaConfig::paper_defaults());
+    benchutil::DualSink sink({"cores", "latency/image", "interval",
+                              "images/s", "speedup", "stage split"},
+                             "pcnna_throughput.csv");
+    for (std::size_t cores = 1; cores <= 5; ++cores) {
+      const auto r = throughput.pipeline(nn::alexnet_conv_layers(), cores);
+      std::string split;
+      for (const auto& [first, last] : r.stages) {
+        if (!split.empty()) split += " | ";
+        split += std::to_string(first + 1) + "-" + std::to_string(last + 1);
+      }
+      sink.row({std::to_string(cores), format_time(r.latency),
+                format_time(r.interval),
+                format_count(r.images_per_second()),
+                format_fixed(r.throughput_speedup, 2) + " x", split});
+    }
+    sink.print(
+        "Extension - AlexNet conv-stack throughput with layer-pipelined "
+        "cores (paper model)");
+  }
+
+  // --- 4. Systolic-array comparison point. ---
+  const baselines::SystolicModel systolic;
+  std::cout << "\nTPU-class systolic baseline (256x256 @ 700 MHz), AlexNet:\n";
+  for (const auto& layer : nn::alexnet_conv_layers()) {
+    std::cout << "  " << layer.name << ": "
+              << format_time(systolic.layer_time(layer)) << " ("
+              << format_fixed(100.0 * systolic.utilization(layer), 1)
+              << " % utilization, " << systolic.tiles(layer) << " tiles)\n";
+  }
+  return 0;
+}

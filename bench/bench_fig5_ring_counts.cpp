@@ -1,0 +1,66 @@
+// Figure 5 reproduction: total microrings per AlexNet conv layer, with and
+// without receptive-field filtering (Eqs. 4-5), plus the paper's SS V-A
+// worked numbers (5.2 B -> 35 k rings, >150k x saving, conv4 3456 rings at
+// 2.2 mm^2).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "core/ring_count.hpp"
+#include "nn/models.hpp"
+
+using namespace pcnna;
+namespace u = units;
+
+int main() {
+  const core::RingCountModel model; // 25 um pitch [10]
+
+  benchutil::DualSink sink(
+      {"layer", "input", "kernels", "Not-Filtered (Eq.4)", "Filtered (Eq.5)",
+       "saving", "per-channel (paper conv4)", "area @25um (Eq.5)"},
+      "pcnna_fig5.csv");
+
+  for (const auto& layer : nn::alexnet_conv_layers()) {
+    const std::uint64_t unfiltered = model.unfiltered(layer);
+    const std::uint64_t filtered = model.filtered(layer);
+    const std::uint64_t per_channel =
+        model.filtered(layer, core::RingAllocation::kPerChannel);
+    PCNNA_CHECK(filtered <= unfiltered);
+    sink.row({layer.name, benchutil::shape_str(layer),
+              benchutil::kernel_str(layer),
+              format_count(static_cast<double>(unfiltered)),
+              format_count(static_cast<double>(filtered)),
+              format_count(model.savings_factor(layer)) + " x",
+              format_count(static_cast<double>(per_channel)),
+              format_area(model.area(filtered))});
+  }
+  sink.print(
+      "Fig. 5 - microrings per AlexNet conv layer, Filtered vs Not-Filtered");
+
+  // The worked numbers quoted in SS V-A, printed for eyeball comparison.
+  const auto conv1 = nn::alexnet_conv_layers()[0];
+  const auto conv4 = nn::alexnet_conv_layers()[3];
+  std::cout << "\nPaper SS V-A worked numbers:\n"
+            << "  conv1 unfiltered : "
+            << format_count(static_cast<double>(model.unfiltered(conv1)))
+            << "  (paper: ~5.2 Billion)\n"
+            << "  conv1 filtered   : "
+            << format_count(static_cast<double>(model.filtered(conv1)))
+            << "  (paper: ~35 thousand)\n"
+            << "  conv1 saving     : "
+            << format_count(model.savings_factor(conv1))
+            << " x (paper: >150k x)\n"
+            << "  conv4 rings      : "
+            << model.filtered(conv4, core::RingAllocation::kPerChannel)
+            << " under the per-channel allocation (paper: 3456; strict Eq. 5"
+               " gives "
+            << format_count(static_cast<double>(model.filtered(conv4)))
+            << ")\n"
+            << "  conv4 area       : "
+            << format_area(model.area(
+                   model.filtered(conv4, core::RingAllocation::kPerChannel)))
+            << " (paper: 2.2 mm^2)\n";
+  return 0;
+}

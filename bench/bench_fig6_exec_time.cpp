@@ -1,0 +1,74 @@
+// Figure 6 reproduction: execution time per AlexNet conv layer for
+// PCNNA(O) (pure optical core, Eq. 7), PCNNA(O+E) (full system bound by the
+// input DACs, Eq. 8), Eyeriss and YodaNN analytical baselines, plus a
+// measured CPU reference.
+//
+// The paper presents Fig. 6 as bars on a log axis without a numeric table;
+// the claims it supports are the *shape*: PCNNA(O) up to ~5 orders of
+// magnitude above the electronic engines, PCNNA(O+E) still >3 orders. The
+// footer prints both speedup summaries.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/cpu.hpp"
+#include "baselines/eyeriss.hpp"
+#include "baselines/yodann.hpp"
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "core/timing_model.hpp"
+#include "nn/models.hpp"
+
+using namespace pcnna;
+
+int main() {
+  const core::TimingModel pcnna(core::PcnnaConfig::paper_defaults(),
+                                core::TimingFidelity::kPaper);
+  const baselines::EyerissModel eyeriss;
+  const baselines::YodannModel yodann;
+  const baselines::CpuDirectBaseline cpu;
+
+  benchutil::DualSink sink({"layer", "Nlocs", "PCNNA(O)", "PCNNA(O+E)",
+                            "bottleneck", "Eyeriss", "YodaNN", "CPU (measured)",
+                            "O+E vs Eyeriss"},
+                           "pcnna_fig6.csv");
+
+  double worst_oe_speedup = 1e300, best_oe_speedup = 0.0, best_o_speedup = 0.0;
+  for (const auto& layer : nn::alexnet_conv_layers()) {
+    const auto t = pcnna.layer_time(layer);
+    const double t_eyeriss = eyeriss.layer_time(layer);
+    const double t_yodann = yodann.layer_time(layer);
+    const auto t_cpu = cpu.measure(layer);
+
+    const double oe_speedup = t_eyeriss / t.full_system_time;
+    const double o_speedup = t_eyeriss / t.optical_core_time;
+    worst_oe_speedup = std::min(worst_oe_speedup, oe_speedup);
+    best_oe_speedup = std::max(best_oe_speedup, oe_speedup);
+    best_o_speedup = std::max(best_o_speedup, o_speedup);
+
+    sink.row({layer.name, std::to_string(t.locations),
+              format_time(t.optical_core_time),
+              format_time(t.full_system_time), t.bottleneck,
+              format_time(t_eyeriss), format_time(t_yodann),
+              format_time(t_cpu.seconds),
+              format_count(oe_speedup) + " x"});
+  }
+  sink.print(
+      "Fig. 6 - execution time per AlexNet conv layer (paper timing model)");
+
+  std::cout << "\nPaper claims vs this model:\n"
+            << "  optical core speedup vs Eyeriss, best layer   : "
+            << format_sci(best_o_speedup)
+            << "  (paper: up to ~5 orders of magnitude)\n"
+            << "  full-system speedup vs Eyeriss, best layer    : "
+            << format_sci(best_oe_speedup)
+            << "  (paper: >3 orders of magnitude)\n"
+            << "  full-system speedup vs Eyeriss, worst layer   : "
+            << format_sci(worst_oe_speedup) << "\n"
+            << "  Eq. (8) worked example (conv4, 10 DACs)       : "
+            << format_fixed(
+                   pcnna.updated_inputs_per_dac(nn::alexnet_conv_layers()[3]),
+                   1)
+            << " conversions/DAC/location (paper: ~116)\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Microbenchmarks (google-benchmark): simulator component throughput.
+//
+// Not a paper artifact — this measures the *simulator itself* so regressions
+// in the hot paths (golden conv, bank calibration, functional engine) are
+// visible.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/optical_conv_engine.hpp"
+#include "nn/conv_ref.hpp"
+#include "nn/synth.hpp"
+#include "photonics/weight_bank.hpp"
+
+using namespace pcnna;
+
+namespace {
+
+const nn::ConvLayerParams kLayer{"bench", 16, 3, 1, 1, 8, 16};
+
+struct Data {
+  nn::Tensor input, weights, bias;
+  Data() {
+    Rng rng(99);
+    input = nn::make_input(kLayer, rng);
+    weights = nn::make_conv_weights(kLayer, rng);
+    bias = nn::make_conv_bias(kLayer, rng);
+  }
+};
+
+const Data& data() {
+  static Data d;
+  return d;
+}
+
+void BM_GoldenConvDirect(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nn::conv2d_direct(data().input, data().weights, data().bias, 1, 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLayer.macs()));
+}
+BENCHMARK(BM_GoldenConvDirect);
+
+void BM_GoldenConvIm2col(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nn::conv2d_im2col(data().input, data().weights, data().bias, 1, 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLayer.macs()));
+}
+BENCHMARK(BM_GoldenConvIm2col);
+
+void BM_WeightBankCalibration(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  phot::WdmGrid grid(channels);
+  phot::WeightBank bank(grid, phot::WeightBankConfig{}, rng);
+  std::vector<double> targets(channels);
+  for (std::size_t i = 0; i < channels; ++i)
+    targets[i] = (i % 2 ? -1.0 : 1.0) * 0.8 * static_cast<double>(i + 1) /
+                 static_cast<double>(channels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bank.calibrate(targets));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(channels));
+}
+BENCHMARK(BM_WeightBankCalibration)->Arg(8)->Arg(32)->Arg(96);
+
+void BM_OpticalEngineIdeal(benchmark::State& state) {
+  core::OpticalConvEngine engine(core::PcnnaConfig::ideal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.conv2d(data().input, data().weights, data().bias, 1, 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLayer.macs()));
+}
+BENCHMARK(BM_OpticalEngineIdeal);
+
+void BM_OpticalEngineNoisy(benchmark::State& state) {
+  core::OpticalConvEngine engine(core::PcnnaConfig::paper_defaults());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.conv2d(data().input, data().weights, data().bias, 1, 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLayer.macs()));
+}
+BENCHMARK(BM_OpticalEngineNoisy);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Extension bench: numerical fidelity of the photonic MAC vs the analog
+// impairment budget.
+//
+// The paper treats the optical core as exact; this bench runs the functional
+// simulator on a fixed conv layer and sweeps (a) which impairments are
+// enabled and (b) the back-end ADC resolution, reporting RMSE / max error
+// against the golden CPU convolution. It quantifies the error budget a real
+// broadcast-and-weight implementation of PCNNA would carry.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "core/optical_conv_engine.hpp"
+#include "nn/conv_ref.hpp"
+#include "nn/synth.hpp"
+
+using namespace pcnna;
+
+namespace {
+
+struct Case {
+  const char* name;
+  core::PcnnaConfig cfg;
+};
+
+} // namespace
+
+int main() {
+  const nn::ConvLayerParams layer{"probe", 12, 3, 1, 1, 8, 16};
+  Rng rng(424242);
+  const auto input = nn::make_input(layer, rng);
+  const auto weights = nn::make_conv_weights(layer, rng);
+  const auto bias = nn::make_conv_bias(layer, rng);
+  const auto golden = nn::conv2d_direct(input, weights, bias, layer.s, layer.p);
+  const double swing = golden.abs_max();
+
+  auto run_case = [&](const core::PcnnaConfig& cfg, core::EngineStats* stats =
+                                                        nullptr) {
+    core::OpticalConvEngine engine(cfg);
+    return engine.conv2d(input, weights, bias, layer.s, layer.p, stats);
+  };
+
+  {
+    std::vector<Case> cases;
+    cases.push_back({"ideal (no impairments)", core::PcnnaConfig::ideal()});
+
+    core::PcnnaConfig c = core::PcnnaConfig::ideal();
+    c.bank = core::PcnnaConfig::paper_defaults().bank;
+    c.bank.photodiode.enable_shot_noise = false;
+    c.bank.photodiode.enable_thermal_noise = false;
+    cases.push_back({"+ realistic rings (Q=20k, crosstalk)", c});
+
+    c.bank.ring.fab_sigma = 0.05e-9;
+    cases.push_back({"+ fabrication disorder (50 pm)", c});
+
+    core::PcnnaConfig q = c;
+    q.enable_quantization = true;
+    q.input_dac = core::PcnnaConfig::paper_defaults().input_dac;
+    q.weight_dac = core::PcnnaConfig::paper_defaults().weight_dac;
+    q.adc = core::PcnnaConfig::paper_defaults().adc;
+    cases.push_back({"+ DAC/ADC quantization (16b/8b)", q});
+
+    core::PcnnaConfig n = q;
+    n.enable_noise = true;
+    n.bank.photodiode.enable_shot_noise = true;
+    n.bank.photodiode.enable_thermal_noise = true;
+    cases.push_back({"+ RIN/shot/thermal noise @5GHz (paper defaults)", n});
+
+    benchutil::DualSink sink({"impairment stack", "RMSE", "max |err|",
+                              "rel. to output swing", "mean cal. error"},
+                             "pcnna_noise_fidelity.csv");
+    for (auto& kase : cases) {
+      kase.cfg.seed = 7;
+      core::EngineStats stats;
+      const auto out = run_case(kase.cfg, &stats);
+      const double err_rmse = rmse(out.data(), golden.data());
+      const double err_max = nn::max_abs_diff(out, golden);
+      sink.row({kase.name, format_sci(err_rmse), format_sci(err_max),
+                format_fixed(100.0 * err_max / swing, 2) + " %",
+                format_sci(stats.mean_calibration_error)});
+    }
+    sink.print("Extension - photonic MAC error budget (12x12x8 conv, 16 kernels)");
+  }
+
+  std::cout << '\n';
+
+  {
+    benchutil::DualSink sink({"ADC bits", "RMSE", "max |err|",
+                              "rel. to output swing"},
+                             "pcnna_noise_adc_bits.csv");
+    for (int bits : {4, 6, 8, 10, 12, 14, 16}) {
+      core::PcnnaConfig cfg = core::PcnnaConfig::ideal();
+      cfg.enable_quantization = true;
+      cfg.adc.bits = bits;
+      const auto out = run_case(cfg);
+      const double err_rmse = rmse(out.data(), golden.data());
+      sink.row({std::to_string(bits), format_sci(err_rmse),
+                format_sci(nn::max_abs_diff(out, golden)),
+                format_fixed(100.0 * nn::max_abs_diff(out, golden) / swing, 2) +
+                    " %"});
+    }
+    sink.print("Extension - ADC resolution sweep (all other impairments off)");
+  }
+
+  std::cout << "\nReading: the paper's 2.8 GSa/s ADC [17] has ~8 effective"
+               " bits; the sweep shows that resolution, not the photonic"
+               " path,\nsets the numerical floor of the full system."
+            << std::endl;
+  return 0;
+}

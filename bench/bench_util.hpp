@@ -1,0 +1,54 @@
+// Shared helpers for the bench binaries.
+//
+// Every bench prints the rows of the paper artifact it reproduces through
+// TextTable and mirrors them to a CSV file (pcnna_<bench>.csv in the working
+// directory) for plotting.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "common/report.hpp"
+#include "nn/conv_params.hpp"
+
+namespace pcnna::benchutil {
+
+/// "n x n x nc" shape string, e.g. "224x224x3".
+inline std::string shape_str(const nn::ConvLayerParams& layer) {
+  return std::to_string(layer.n) + "x" + std::to_string(layer.n) + "x" +
+         std::to_string(layer.nc);
+}
+
+/// "K @ m x m" kernel string, e.g. "96 @ 11x11".
+inline std::string kernel_str(const nn::ConvLayerParams& layer) {
+  return std::to_string(layer.K) + " @ " + std::to_string(layer.m) + "x" +
+         std::to_string(layer.m);
+}
+
+/// Emit a table to stdout and mirror the same rows to `csv_path`.
+class DualSink {
+ public:
+  DualSink(std::vector<std::string> headers, const std::string& csv_path)
+      : table_(headers), csv_(csv_path, headers), csv_path_(csv_path) {}
+
+  void row(std::vector<std::string> cells) {
+    csv_.write_row(cells);
+    table_.add_row(std::move(cells));
+  }
+
+  void separator() { table_.add_separator(); }
+
+  void print(const std::string& title) {
+    table_.print(std::cout, title);
+    std::cout << "(rows mirrored to " << csv_path_ << ")\n";
+  }
+
+ private:
+  TextTable table_;
+  CsvWriter csv_;
+  std::string csv_path_;
+};
+
+} // namespace pcnna::benchutil

@@ -1,0 +1,82 @@
+// Quickstart: run one convolution layer on the PCNNA optical core.
+//
+// Shows the three layers of the public API on a small example:
+//   1. describe the layer (nn::ConvLayerParams) and make synthetic data,
+//   2. ask the analytical models what the hardware costs (rings, area,
+//      execution time),
+//   3. push actual values through the functional photonic simulator and
+//      compare against the golden CPU convolution.
+#include <iostream>
+
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "core/optical_conv_engine.hpp"
+#include "core/ring_count.hpp"
+#include "core/timing_model.hpp"
+#include "nn/conv_ref.hpp"
+#include "nn/synth.hpp"
+
+using namespace pcnna;
+
+int main() {
+  // --- 1. A small conv layer: 16x16x4 input, eight 3x3 kernels. ---
+  const nn::ConvLayerParams layer{"demo", /*n=*/16, /*m=*/3, /*p=*/1,
+                                  /*s=*/1, /*nc=*/4, /*K=*/8};
+  Rng rng(2024);
+  const nn::Tensor input = nn::make_input(layer, rng);
+  const nn::Tensor weights = nn::make_conv_weights(layer, rng);
+  const nn::Tensor bias = nn::make_conv_bias(layer, rng);
+
+  std::cout << "PCNNA quickstart - layer '" << layer.name << "': "
+            << layer.n << "x" << layer.n << "x" << layer.nc << " input, "
+            << layer.K << " kernels of " << layer.m << "x" << layer.m << "x"
+            << layer.nc << "\n\n";
+
+  // --- 2. Analytical hardware cost (paper Eqs. 4-8). ---
+  const core::RingCountModel rings;
+  std::cout << "Microrings (Eq. 4, no filtering) : "
+            << format_count(static_cast<double>(rings.unfiltered(layer))) << '\n'
+            << "Microrings (Eq. 5, filtered)     : "
+            << format_count(static_cast<double>(rings.filtered(layer)))
+            << "  (saving " << format_count(rings.savings_factor(layer))
+            << " x)\n"
+            << "Ring area at 25 um pitch         : "
+            << format_area(rings.area(rings.filtered(layer))) << "\n";
+
+  const core::TimingModel timing(core::PcnnaConfig::paper_defaults(),
+                                 core::TimingFidelity::kPaper);
+  const auto t = timing.layer_time(layer);
+  std::cout << "Optical-core time (Eq. 7)        : "
+            << format_time(t.optical_core_time) << "  (" << t.locations
+            << " kernel locations at 5 GHz)\n"
+            << "Full-system time (Eq. 8 bound)   : "
+            << format_time(t.full_system_time) << "  (bottleneck: "
+            << t.bottleneck << ")\n\n";
+
+  // --- 3. Functional photonic simulation vs the golden CPU conv. ---
+  core::OpticalConvEngine ideal(core::PcnnaConfig::ideal());
+  core::OpticalConvEngine noisy(core::PcnnaConfig::paper_defaults());
+  core::EngineStats stats;
+
+  const nn::Tensor golden =
+      nn::conv2d_direct(input, weights, bias, layer.s, layer.p);
+  const nn::Tensor out_ideal =
+      ideal.conv2d(input, weights, bias, layer.s, layer.p);
+  const nn::Tensor out_noisy =
+      noisy.conv2d(input, weights, bias, layer.s, layer.p, &stats);
+
+  std::cout << "Functional simulation vs golden convolution:\n"
+            << "  ideal optics  max |err| : "
+            << format_sci(nn::max_abs_diff(out_ideal, golden)) << '\n'
+            << "  paper optics  max |err| : "
+            << format_sci(nn::max_abs_diff(out_noisy, golden))
+            << "  (RIN + shot/thermal noise + 8b ADC)\n"
+            << "  banks built             : " << stats.banks_built << '\n'
+            << "  rings in mapping        : " << stats.rings_used << '\n'
+            << "  mean calibration error  : "
+            << format_sci(stats.mean_calibration_error) << '\n';
+
+  std::cout << "\nDone. See examples/alexnet_pipeline.cpp for the paper's "
+               "full workload.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "baselines/cpu.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/rng.hpp"
+#include "nn/conv_ref.hpp"
+#include "nn/synth.hpp"
+
+namespace pcnna::baselines {
+
+CpuMeasurement CpuDirectBaseline::measure(const nn::ConvLayerParams& layer,
+                                          bool* extrapolated) const {
+  layer.validate();
+  nn::ConvLayerParams timed = layer;
+  bool did_crop = false;
+  // Shrink the spatial extent until the cropped layer is affordable, keeping
+  // kernel/channels/stride so per-MAC cost is representative.
+  while (timed.macs() > max_direct_macs &&
+         timed.n > 3 * timed.m + 2 * timed.p) {
+    timed.n = std::max<std::uint64_t>(3 * timed.m, timed.n / 2);
+    did_crop = true;
+  }
+
+  pcnna::Rng rng(7);
+  const nn::Tensor input = nn::make_input(timed, rng);
+  const nn::Tensor weights = nn::make_conv_weights(timed, rng);
+  const nn::Tensor bias = nn::make_conv_bias(timed, rng);
+
+  const auto start = std::chrono::steady_clock::now();
+  const nn::Tensor out = nn::conv2d_im2col(input, weights, bias, timed.s, timed.p);
+  const auto stop = std::chrono::steady_clock::now();
+  double seconds = std::chrono::duration<double>(stop - start).count();
+  // Guard against sub-resolution timings on tiny layers.
+  seconds = std::max(seconds, 1e-9);
+
+  const double per_mac = seconds / static_cast<double>(timed.macs());
+  CpuMeasurement m;
+  m.seconds = per_mac * static_cast<double>(layer.macs());
+  m.macs_per_s = 1.0 / per_mac;
+  if (extrapolated) *extrapolated = did_crop;
+  // Keep the output alive so the optimizer cannot elide the convolution.
+  if (out.size() == 0) m.seconds = 0.0;
+  return m;
+}
+
+} // namespace pcnna::baselines

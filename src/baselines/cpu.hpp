@@ -1,0 +1,29 @@
+// Measured single-thread CPU convolution baseline.
+//
+// Not in the paper's Fig. 6, but a useful sanity anchor for the benches:
+// times the golden im2col convolution on synthetic data for a given layer
+// shape on the host machine.
+#pragma once
+
+#include "nn/conv_params.hpp"
+
+namespace pcnna::baselines {
+
+struct CpuMeasurement {
+  double seconds = 0.0;   ///< wall time of one forward pass
+  double macs_per_s = 0.0;///< achieved MAC throughput
+};
+
+/// Run the layer once with seeded synthetic tensors and time it. For very
+/// large layers the convolution is run on a spatially cropped input (at
+/// least 3x the kernel) and the time is extrapolated by MAC ratio; the
+/// `extrapolated` flag reports when that happened.
+struct CpuDirectBaseline {
+  /// Crop threshold: layers above this many MACs are cropped before timing.
+  std::uint64_t max_direct_macs = 400'000'000;
+
+  CpuMeasurement measure(const nn::ConvLayerParams& layer,
+                         bool* extrapolated = nullptr) const;
+};
+
+} // namespace pcnna::baselines

@@ -1,0 +1,37 @@
+#include "baselines/eyeriss.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pcnna::baselines {
+
+EyerissModel::EyerissModel(EyerissConfig config) : config_(config) {
+  PCNNA_CHECK(config.pe_rows > 0 && config.pe_cols > 0);
+  PCNNA_CHECK(config.clock > 0.0);
+  PCNNA_CHECK(config.efficiency > 0.0 && config.efficiency <= 1.0);
+}
+
+double EyerissModel::utilization(const nn::ConvLayerParams& layer) const {
+  layer.validate();
+  // A processing strip occupies (kernel rows) x (output rows on PE columns).
+  // Kernels taller than the array fold over multiple passes (conservatively
+  // treated as full-array usage); otherwise the strip replicates until the
+  // array is exhausted.
+  const std::uint64_t strip_rows = std::min(layer.m, config_.pe_rows);
+  const std::uint64_t strip_cols =
+      std::min<std::uint64_t>(layer.output_side(), config_.pe_cols);
+  const std::uint64_t strip = strip_rows * strip_cols;
+  const std::uint64_t replicas = std::max<std::uint64_t>(1, total_pes() / strip);
+  const std::uint64_t active = std::min(total_pes(), replicas * strip);
+  return static_cast<double>(active) / static_cast<double>(total_pes());
+}
+
+double EyerissModel::layer_time(const nn::ConvLayerParams& layer) const {
+  const double throughput = static_cast<double>(total_pes()) *
+                            utilization(layer) * config_.efficiency *
+                            config_.clock; // MACs per second
+  return static_cast<double>(layer.macs()) / throughput;
+}
+
+} // namespace pcnna::baselines

@@ -1,0 +1,49 @@
+// Analytical model of Eyeriss (Chen et al., ISSCC/ISCA 2016) — the paper's
+// primary electronic comparison point in Fig. 6.
+//
+// Eyeriss is a 12 x 14 PE array at 200 MHz using the row-stationary
+// dataflow: a processing strip of (kernel rows m) x (output rows mapped to
+// PE columns) is replicated across the array as many times as it fits. The
+// model estimates per-layer latency as MACs / (active PEs * clock), which
+// preserves the order-of-magnitude behaviour Fig. 6 depends on without the
+// authors' testbed. We do not claim cycle accuracy (DESIGN.md substitution
+// table).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "nn/conv_params.hpp"
+
+namespace pcnna::baselines {
+
+struct EyerissConfig {
+  std::uint64_t pe_rows = 12;
+  std::uint64_t pe_cols = 14;
+  double clock = 200.0 * units::MHz;
+  /// Fraction of ideally-mapped cycles actually achieved (pipeline stalls,
+  /// memory waits). Chen et al. report high PE utilization; 0.85 keeps the
+  /// estimate on the optimistic (conservative-for-PCNNA) side.
+  double efficiency = 0.85;
+};
+
+class EyerissModel {
+ public:
+  explicit EyerissModel(EyerissConfig config = {});
+
+  const EyerissConfig& config() const { return config_; }
+
+  std::uint64_t total_pes() const { return config_.pe_rows * config_.pe_cols; }
+
+  /// Row-stationary spatial utilization in [0, 1]: fraction of PEs holding
+  /// active strips for this layer shape.
+  double utilization(const nn::ConvLayerParams& layer) const;
+
+  /// Estimated wall time for one forward pass of the layer [s].
+  double layer_time(const nn::ConvLayerParams& layer) const;
+
+ private:
+  EyerissConfig config_;
+};
+
+} // namespace pcnna::baselines

@@ -1,0 +1,37 @@
+#include "baselines/systolic.hpp"
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+
+namespace pcnna::baselines {
+
+SystolicModel::SystolicModel(SystolicConfig config) : config_(config) {
+  PCNNA_CHECK(config.rows > 0 && config.cols > 0);
+  PCNNA_CHECK(config.clock > 0.0);
+  PCNNA_CHECK(config.efficiency > 0.0 && config.efficiency <= 1.0);
+}
+
+std::uint64_t SystolicModel::tiles(const nn::ConvLayerParams& layer) const {
+  layer.validate();
+  return ceil_div(layer.kernel_size(), config_.rows) *
+         ceil_div(layer.K, config_.cols);
+}
+
+double SystolicModel::utilization(const nn::ConvLayerParams& layer) const {
+  const double useful =
+      static_cast<double>(layer.kernel_size()) * static_cast<double>(layer.K);
+  const double provisioned =
+      static_cast<double>(tiles(layer)) *
+      static_cast<double>(config_.rows * config_.cols);
+  return useful / provisioned;
+}
+
+double SystolicModel::layer_time(const nn::ConvLayerParams& layer) const {
+  // Each tile streams Nlocs activation columns plus a rows+cols fill ramp.
+  const double cycles_per_tile =
+      static_cast<double>(layer.num_locations() + config_.rows + config_.cols);
+  const double cycles = static_cast<double>(tiles(layer)) * cycles_per_tile;
+  return cycles / (config_.clock * config_.efficiency);
+}
+
+} // namespace pcnna::baselines

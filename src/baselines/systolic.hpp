@@ -1,0 +1,43 @@
+// Analytical model of a weight-stationary systolic array (TPU-v1 class) —
+// an extra electronic baseline beyond the paper's Fig. 6 pair.
+//
+// A rows x cols MAC array at `clock`: the reduction dimension (Nkernel)
+// maps to rows, the kernel dimension (K) to columns; layers larger than the
+// array tile over ceil(Nkernel/rows) * ceil(K/cols) passes, each streaming
+// Nlocs activations plus an array-fill ramp.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "nn/conv_params.hpp"
+
+namespace pcnna::baselines {
+
+struct SystolicConfig {
+  std::uint64_t rows = 256;
+  std::uint64_t cols = 256;
+  double clock = 700.0 * units::MHz; ///< TPU-v1 class
+  double efficiency = 0.85;          ///< stall/refill derating
+};
+
+class SystolicModel {
+ public:
+  explicit SystolicModel(SystolicConfig config = {});
+
+  const SystolicConfig& config() const { return config_; }
+
+  /// Tiles needed to cover the layer's (Nkernel x K) weight matrix.
+  std::uint64_t tiles(const nn::ConvLayerParams& layer) const;
+
+  /// Fraction of array MACs doing useful work across all tiles.
+  double utilization(const nn::ConvLayerParams& layer) const;
+
+  /// Estimated wall time for one forward pass of the layer [s].
+  double layer_time(const nn::ConvLayerParams& layer) const;
+
+ private:
+  SystolicConfig config_;
+};
+
+} // namespace pcnna::baselines

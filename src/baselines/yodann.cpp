@@ -1,0 +1,19 @@
+#include "baselines/yodann.hpp"
+
+#include "common/error.hpp"
+
+namespace pcnna::baselines {
+
+YodannModel::YodannModel(YodannConfig config) : config_(config) {
+  PCNNA_CHECK(config.array_width > 0 && config.array_height > 0);
+  PCNNA_CHECK(config.clock > 0.0);
+  PCNNA_CHECK(config.efficiency > 0.0 && config.efficiency <= 1.0);
+}
+
+double YodannModel::layer_time(const nn::ConvLayerParams& layer) const {
+  layer.validate();
+  return static_cast<double>(layer.macs()) /
+         (peak_throughput() * config_.efficiency);
+}
+
+} // namespace pcnna::baselines

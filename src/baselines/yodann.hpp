@@ -1,0 +1,44 @@
+// Analytical model of YodaNN (Andri et al., ISVLSI 2016) — the paper's
+// second electronic comparison point in Fig. 6.
+//
+// YodaNN is a binary-weight CNN accelerator: a 32 x 32 sum-of-products
+// array at 480 MHz in the high-throughput corner. Binary weights let it
+// replace multipliers with muxes, so its MAC throughput is roughly an order
+// above Eyeriss at much lower power. Modeled, like Eyeriss, as
+// MACs / (array throughput * efficiency) (DESIGN.md substitution table).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "nn/conv_params.hpp"
+
+namespace pcnna::baselines {
+
+struct YodannConfig {
+  std::uint64_t array_width = 32;  ///< SoP units
+  std::uint64_t array_height = 32; ///< parallel pixels per SoP
+  double clock = 480.0 * units::MHz;
+  double efficiency = 0.9;
+};
+
+class YodannModel {
+ public:
+  explicit YodannModel(YodannConfig config = {});
+
+  const YodannConfig& config() const { return config_; }
+
+  /// Peak MAC throughput [MAC/s].
+  double peak_throughput() const {
+    return static_cast<double>(config_.array_width * config_.array_height) *
+           config_.clock;
+  }
+
+  /// Estimated wall time for one forward pass of the layer [s].
+  double layer_time(const nn::ConvLayerParams& layer) const;
+
+ private:
+  YodannConfig config_;
+};
+
+} // namespace pcnna::baselines

@@ -1,0 +1,55 @@
+// Error handling for the PCNNA library.
+//
+// Construction/configuration errors throw `pcnna::Error` (invalid layer
+// shapes, infeasible hardware configs, calibration failures). Hot-path code
+// uses PCNNA_DCHECK which compiles out in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pcnna {
+
+/// Exception type thrown for invalid configurations and violated contracts.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PCNNA_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+} // namespace detail
+
+} // namespace pcnna
+
+/// Always-on invariant check; throws pcnna::Error on failure.
+#define PCNNA_CHECK(expr)                                                     \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::pcnna::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+/// Always-on invariant check with a streamed message.
+#define PCNNA_CHECK_MSG(expr, msg)                                            \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream pcnna_check_os_;                                     \
+      pcnna_check_os_ << msg;                                                 \
+      ::pcnna::detail::throw_check_failure(#expr, __FILE__, __LINE__,         \
+                                           pcnna_check_os_.str());            \
+    }                                                                         \
+  } while (false)
+
+/// Debug-only check for hot paths; disappears when NDEBUG is defined.
+#ifdef NDEBUG
+#define PCNNA_DCHECK(expr) ((void)0)
+#else
+#define PCNNA_DCHECK(expr) PCNNA_CHECK(expr)
+#endif

@@ -1,0 +1,40 @@
+// Engineering-notation formatting for report output.
+//
+// Benches print paper-style rows ("21.8 us", "2.2 mm^2", "5.2 B rings");
+// these helpers keep that formatting consistent and locale-independent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pcnna {
+
+/// Format seconds with an auto-selected engineering prefix, e.g. "605 ns",
+/// "2.20 us", "16.5 ms". `sig` controls significant digits (default 3).
+std::string format_time(double seconds, int sig = 3);
+
+/// Format an area in m^2 as mm^2 or um^2, e.g. "2.16 mm^2".
+std::string format_area(double m2, int sig = 3);
+
+/// Format a count with K/M/B suffixes, e.g. "5.25 B", "34.8 K", "3456".
+std::string format_count(double count, int sig = 3);
+
+/// Format a power in watts with an engineering prefix, e.g. "44.6 mW".
+std::string format_power(double watts, int sig = 3);
+
+/// Format an energy in joules with an engineering prefix, e.g. "1.3 uJ".
+std::string format_energy(double joules, int sig = 3);
+
+/// Format bytes as B/KiB/MiB/GiB, e.g. "129.8 KiB".
+std::string format_bytes(double bytes, int sig = 3);
+
+/// Format a frequency/rate, e.g. "5.00 GHz", "6.00 GSa/s" (suffix chooses).
+std::string format_freq(double hz, int sig = 3);
+
+/// Fixed-point with `digits` decimals, e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double v, int digits);
+
+/// Scientific notation with `sig` significant digits, e.g. "1.21e+05".
+std::string format_sci(double v, int sig = 3);
+
+} // namespace pcnna

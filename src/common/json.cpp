@@ -1,0 +1,141 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace pcnna {
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return; // top-level single value
+  if (stack_.back() == Scope::kObject) {
+    PCNNA_CHECK_MSG(pending_key_, "JSON: value inside object requires key()");
+    pending_key_ = false;
+    return;
+  }
+  // Array element: comma separation.
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  PCNNA_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                  "JSON: end_object without matching begin_object");
+  PCNNA_CHECK_MSG(!pending_key_, "JSON: dangling key at end_object");
+  os_ << '}';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  PCNNA_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kArray,
+                  "JSON: end_array without matching begin_array");
+  os_ << ']';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  PCNNA_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                  "JSON: key() outside of an object");
+  PCNNA_CHECK_MSG(!pending_key_, "JSON: two keys in a row");
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+  write_escaped(k);
+  os_ << ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  write_escaped(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (std::isfinite(v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os_ << buf;
+  } else {
+    os_ << "null"; // JSON has no Inf/NaN
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+void JsonWriter::finish() const {
+  PCNNA_CHECK_MSG(stack_.empty(), "JSON: unbalanced containers at finish()");
+  PCNNA_CHECK_MSG(!pending_key_, "JSON: dangling key at finish()");
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  os_ << '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os_ << buf;
+        } else {
+          os_ << ch;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+} // namespace pcnna

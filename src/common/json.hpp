@@ -1,0 +1,70 @@
+// Minimal streaming JSON writer.
+//
+// Bench and example binaries print human-readable tables by default; this
+// writer provides machine-readable mirrors (design_explorer --json) without
+// pulling in a JSON library. Commas and nesting are tracked internally;
+// misuse (value without a key inside an object, unbalanced end calls)
+// throws.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace pcnna {
+
+class JsonWriter {
+ public:
+  /// Writes to `os`; the stream must outlive the writer.
+  explicit JsonWriter(std::ostream& os);
+
+  /// Destructor checks for balanced begin/end in debug builds only (it must
+  /// not throw); call finish() to validate explicitly.
+  ~JsonWriter() = default;
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // --- structure ---
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; must be directly inside an object and followed by
+  /// exactly one value or container.
+  JsonWriter& key(std::string_view k);
+
+  // --- scalars ---
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// Throws if any container is still open.
+  void finish() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+  void before_value();
+  void write_escaped(std::string_view s);
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+} // namespace pcnna

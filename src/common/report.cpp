@@ -1,0 +1,120 @@
+#include "common/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pcnna {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  PCNNA_CHECK(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  PCNNA_CHECK_MSG(cells.size() == headers_.size(),
+                  "row has " << cells.size() << " cells, expected "
+                             << headers_.size());
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+void TextTable::print(std::ostream& os, std::string_view title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  const auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c];
+      for (std::size_t i = cells[c].size(); i < widths[c] + 1; ++i) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title.empty()) os << title << '\n';
+  rule();
+  emit(headers_);
+  rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      rule();
+    } else {
+      emit(row.cells);
+    }
+  }
+  rule();
+}
+
+std::string TextTable::to_string(std::string_view title) const {
+  std::ostringstream os;
+  print(os, title);
+  return os.str();
+}
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+} // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : impl_(new Impl), columns_(header.size()) {
+  PCNNA_CHECK(!header.empty());
+  impl_->out.open(path);
+  if (!impl_->out) {
+    delete impl_;
+    throw Error("CsvWriter: cannot open '" + path + "' for writing");
+  }
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (c) impl_->out << ',';
+    impl_->out << csv_escape(header[c]);
+  }
+  impl_->out << '\n';
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  PCNNA_CHECK(cells.size() == columns_);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c) impl_->out << ',';
+    impl_->out << csv_escape(cells[c]);
+  }
+  impl_->out << '\n';
+  ++rows_written_;
+}
+
+} // namespace pcnna

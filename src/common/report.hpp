@@ -1,0 +1,67 @@
+// Text-table and CSV report writers used by the bench harness.
+//
+// Every bench binary prints the rows of the paper table/figure it reproduces
+// through TextTable (aligned, human-readable) and can mirror them to a CSV
+// file for plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pcnna {
+
+/// Column-aligned ASCII table. Populate with add_row(), render with print().
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator row.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with column alignment, a header rule, and optional title.
+  void print(std::ostream& os, std::string_view title = {}) const;
+
+  /// Render to a string (convenience for tests).
+  std::string to_string(std::string_view title = {}) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+/// Minimal CSV writer (RFC-4180 quoting). One instance per output file.
+class CsvWriter {
+ public:
+  /// Open `path` for writing and emit the header row. Throws on I/O failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Write one data row; must match the header width.
+  void write_row(const std::vector<std::string>& cells);
+
+  std::size_t rows_written() const { return rows_written_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t columns_;
+  std::size_t rows_written_ = 0;
+};
+
+} // namespace pcnna

@@ -1,0 +1,61 @@
+// SI unit helpers and physical constants used throughout the PCNNA simulator.
+//
+// All quantities in the library are carried in base SI units (seconds, meters,
+// hertz, watts, joules, bytes) as `double`. These constexpr factors make
+// call sites read like the paper: `5.0 * units::GHz`, `25.0 * units::um`.
+#pragma once
+
+namespace pcnna::units {
+
+// --- time ---
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+
+// --- frequency / sample rate ---
+inline constexpr double Hz = 1.0;
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+/// Samples per second for data converters (dimensionally a rate in Hz).
+inline constexpr double GSa = 1e9;
+inline constexpr double MSa = 1e6;
+
+// --- length / area ---
+inline constexpr double m = 1.0;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+inline constexpr double mm2 = 1e-6;  // square millimeters in m^2
+inline constexpr double um2 = 1e-12; // square micrometers in m^2
+
+// --- power / energy ---
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+inline constexpr double J = 1.0;
+inline constexpr double mJ = 1e-3;
+inline constexpr double uJ = 1e-6;
+inline constexpr double nJ = 1e-9;
+inline constexpr double pJ = 1e-12;
+inline constexpr double fJ = 1e-15;
+
+// --- information ---
+inline constexpr double bit = 1.0;
+inline constexpr double byte = 8.0;
+inline constexpr double KiB = 8.0 * 1024.0;
+inline constexpr double kb = 1e3; // kilobit, as in "128 kb SRAM"
+
+// --- physical constants ---
+/// Speed of light in vacuum [m/s].
+inline constexpr double c0 = 299'792'458.0;
+/// Planck constant [J*s].
+inline constexpr double h_planck = 6.626'070'15e-34;
+/// Elementary charge [C].
+inline constexpr double q_e = 1.602'176'634e-19;
+/// Boltzmann constant [J/K].
+inline constexpr double k_B = 1.380'649e-23;
+
+} // namespace pcnna::units

@@ -1,0 +1,100 @@
+// Full-system PCNNA accelerator simulator.
+//
+// Runs a whole CNN the way the paper's architecture does (SS IV): conv
+// layers execute on the (virtually reused) optical core, layer by layer,
+// with feature maps round-tripping through off-chip DRAM; everything else
+// (ReLU, pooling, LRN, FC, softmax) runs in the electronic domain. Produces
+// per-layer timing, energy, and engine statistics, plus numerical-fidelity
+// metrics against the golden CPU reference.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/energy_model.hpp"
+#include "core/optical_conv_engine.hpp"
+#include "core/scheduler.hpp"
+#include "core/timing_model.hpp"
+#include "nn/network.hpp"
+#include "nn/tensor.hpp"
+
+namespace pcnna::core {
+
+/// Results for one conv layer of a network run.
+struct LayerRunReport {
+  std::string layer_name;
+  LayerTiming timing;      ///< at the accelerator's configured fidelity
+  EnergyReport energy;
+  EngineStats engine;      ///< zeros when values were not simulated
+  /// Engine output vs golden conv on the same layer input (functional runs).
+  double rmse_vs_reference = 0.0;
+  double max_abs_err_vs_reference = 0.0;
+};
+
+/// Results for a whole network run.
+struct NetworkRunReport {
+  std::vector<LayerRunReport> conv_layers;
+  /// Filled when PcnnaConfig::accelerate_fc is set: FC layers offloaded to
+  /// the optical core (modeled as 1x1 convs on a 1x1 feature map).
+  std::vector<LayerRunReport> fc_layers;
+  nn::Tensor output;          ///< network output (simulated path)
+  nn::Tensor reference_output;///< golden CPU output (when compared)
+  double total_optical_core_time = 0.0;
+  double total_full_system_time = 0.0;
+  double total_energy = 0.0;
+  /// Final-output fidelity (cumulative error through the whole net).
+  double output_rmse = 0.0;
+  double output_max_abs_err = 0.0;
+  /// True when simulated and reference argmax agree (classification nets).
+  bool argmax_match = true;
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(PcnnaConfig config,
+                       TimingFidelity fidelity = TimingFidelity::kPaper);
+
+  const PcnnaConfig& config() const { return config_; }
+
+  /// Run one conv layer functionally on the optical core.
+  nn::Tensor run_conv(const nn::Tensor& input, const nn::Tensor& weights,
+                      const nn::Tensor& bias, std::size_t stride,
+                      std::size_t pad, LayerRunReport* report = nullptr);
+
+  /// Run a network end to end.
+  ///
+  /// `simulate_values == true` pushes every conv through the photonic
+  /// functional model (slow, exact error accounting); `false` computes conv
+  /// values with the golden CPU path but still produces the full timing /
+  /// energy / plan reports (fast, for large nets).
+  /// `compare_reference` additionally runs the pure CPU reference and fills
+  /// the fidelity metrics.
+  NetworkRunReport run(const nn::Network& net, const nn::NetWeights& weights,
+                       const nn::Tensor& input, bool simulate_values = true,
+                       bool compare_reference = true);
+
+  /// Aggregate timing for a batch of images on the single virtually-reused
+  /// core (paper SS IV): images run back to back, each repeating the full
+  /// layer sequence (including per-layer weight reprogramming at kFull
+  /// fidelity). For multi-core pipelined batching see core::ThroughputModel.
+  struct BatchReport {
+    std::size_t images = 0;
+    double time_per_image = 0.0; ///< accelerated-op time per image [s]
+    double total_time = 0.0;
+    double images_per_second = 0.0;
+    double energy_per_image = 0.0; ///< [J]
+  };
+  BatchReport run_batch(const nn::Network& net, std::size_t images) const;
+
+ private:
+  PcnnaConfig config_;
+  TimingFidelity fidelity_;
+  Scheduler scheduler_;
+  TimingModel timing_;
+  EnergyModel energy_;
+  OpticalConvEngine engine_;
+};
+
+} // namespace pcnna::core

@@ -1,0 +1,66 @@
+#include "core/chip_report.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/ring_count.hpp"
+#include "core/scheduler.hpp"
+#include "photonics/laser.hpp"
+
+namespace pcnna::core {
+
+ChipReportModel::ChipReportModel(PcnnaConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+ChipBudget ChipReportModel::budget_for_rings(std::uint64_t rings,
+                                             std::uint64_t wavelengths) const {
+  ChipBudget b;
+  b.rings = rings;
+  b.wavelengths = wavelengths;
+
+  const double ring_pitch = config_.bank.ring.footprint_side;
+  b.ring_area = static_cast<double>(rings) * ring_pitch * ring_pitch;
+  b.dac_area = static_cast<double>(config_.num_input_dacs) *
+                   config_.input_dac.area +
+               config_.weight_dac.area;
+  b.adc_area = static_cast<double>(config_.num_adcs) * config_.adc.area;
+  b.sram_area = config_.sram.area;
+
+  const phot::LaserDiode laser(config_.laser);
+  b.laser_power =
+      static_cast<double>(wavelengths) * laser.electrical_power();
+  // Worst case: every ring driven to max detuning.
+  b.heater_power = static_cast<double>(rings) * config_.bank.ring.max_detuning /
+                   config_.bank.ring.thermal_efficiency;
+  b.dac_power = static_cast<double>(config_.num_input_dacs) *
+                    config_.input_dac.power +
+                config_.weight_dac.power;
+  b.adc_power = static_cast<double>(config_.num_adcs) * config_.adc.power;
+  b.sram_power = config_.sram.retention_power;
+  return b;
+}
+
+ChipBudget ChipReportModel::layer_budget(
+    const nn::ConvLayerParams& layer) const {
+  const Scheduler scheduler(config_);
+  const LayerPlan plan = scheduler.plan(layer);
+  return budget_for_rings(plan.rings_total, plan.group_size);
+}
+
+ChipBudget ChipReportModel::network_budget(
+    const std::vector<nn::ConvLayerParams>& layers) const {
+  PCNNA_CHECK(!layers.empty());
+  const Scheduler scheduler(config_);
+  std::uint64_t max_rings = 0;
+  std::uint64_t max_wavelengths = 0;
+  for (const nn::ConvLayerParams& layer : layers) {
+    const LayerPlan plan = scheduler.plan(layer);
+    max_rings = std::max(max_rings, plan.rings_total);
+    max_wavelengths = std::max(max_wavelengths, plan.group_size);
+  }
+  return budget_for_rings(max_rings, max_wavelengths);
+}
+
+} // namespace pcnna::core

@@ -1,0 +1,64 @@
+// Whole-chip area and peak-power budget (extension beyond the paper).
+//
+// Aggregates the component specs the paper cites — DAC area [16], ADC area
+// [17], SRAM footprint [15], 25 um ring pitch [10] — plus laser wall-plug
+// and heater power into a single design-point budget for the shared
+// (virtually reused) PCNNA core.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "nn/conv_params.hpp"
+
+namespace pcnna::core {
+
+/// Area/power budget for one PCNNA design point.
+struct ChipBudget {
+  // --- sizing inputs ---
+  std::uint64_t rings = 0;        ///< shared-core ring count (largest layer)
+  std::uint64_t wavelengths = 0;  ///< lasers/MZMs provisioned (WDM budget)
+
+  // --- area [m^2] ---
+  double ring_area = 0.0;
+  double dac_area = 0.0;   ///< input DACs + kernel-weight DAC
+  double adc_area = 0.0;
+  double sram_area = 0.0;
+  double total_area() const {
+    return ring_area + dac_area + adc_area + sram_area;
+  }
+
+  // --- peak power [W] ---
+  double laser_power = 0.0;   ///< electrical (wall-plug) draw of the combs
+  double heater_power = 0.0;  ///< worst-case thermal tuning
+  double dac_power = 0.0;
+  double adc_power = 0.0;
+  double sram_power = 0.0;    ///< retention
+  double total_power() const {
+    return laser_power + heater_power + dac_power + adc_power + sram_power;
+  }
+};
+
+class ChipReportModel {
+ public:
+  explicit ChipReportModel(PcnnaConfig config);
+
+  const PcnnaConfig& config() const { return config_; }
+
+  /// Budget for a core sized to run every layer of `layers` (paper SS IV:
+  /// one physical layer's worth of hardware, virtually reused — provision
+  /// for the largest layer under the configured allocation).
+  ChipBudget network_budget(
+      const std::vector<nn::ConvLayerParams>& layers) const;
+
+  /// Budget for a core sized to exactly one layer.
+  ChipBudget layer_budget(const nn::ConvLayerParams& layer) const;
+
+ private:
+  ChipBudget budget_for_rings(std::uint64_t rings,
+                              std::uint64_t wavelengths) const;
+  PcnnaConfig config_;
+};
+
+} // namespace pcnna::core

@@ -1,0 +1,69 @@
+#include "core/config.hpp"
+
+#include "common/error.hpp"
+
+namespace pcnna::core {
+
+const char* ring_allocation_name(RingAllocation allocation) {
+  switch (allocation) {
+    case RingAllocation::kFullKernel: return "full-kernel";
+    case RingAllocation::kPerChannel: return "per-channel";
+  }
+  return "?";
+}
+
+const char* timing_fidelity_name(TimingFidelity fidelity) {
+  switch (fidelity) {
+    case TimingFidelity::kPaper: return "paper";
+    case TimingFidelity::kFull: return "full";
+  }
+  return "?";
+}
+
+PcnnaConfig PcnnaConfig::paper_defaults() {
+  PcnnaConfig cfg;
+  // Defaults in the member initializers already encode the paper's
+  // component specs; restate the headline ones for clarity.
+  cfg.fast_clock = 5.0 * units::GHz;
+  cfg.num_input_dacs = 10;
+  cfg.input_dac.sample_rate = 6.0 * units::GSa; // [16]
+  cfg.input_dac.bits = 16;
+  cfg.weight_dac = cfg.input_dac;
+  cfg.num_adcs = 1;
+  cfg.adc.sample_rate = 2.8 * units::GSa; // [17]
+  cfg.validate();
+  return cfg;
+}
+
+PcnnaConfig PcnnaConfig::ideal() {
+  PcnnaConfig cfg = paper_defaults();
+  cfg.enable_noise = false;
+  cfg.enable_quantization = false;
+  cfg.bank.model_crosstalk = false;
+  cfg.bank.ring.q_factor = 2.0e6;       // razor-thin linewidth
+  cfg.bank.ring.max_drop = 1.0 - 1e-9;  // full on-resonance drop
+  cfg.bank.ring.insertion_loss_db = 0.0;
+  cfg.bank.ring.tuning_bits = 44;
+  cfg.bank.ring.max_detuning = 1.55 * units::nm; // 2000 linewidths at Q = 2e6
+  cfg.bank.ring.fab_sigma = 0.0;
+  cfg.bank.photodiode.enable_shot_noise = false;
+  cfg.bank.photodiode.enable_thermal_noise = false;
+  cfg.bank.photodiode.dark_current = 0.0;
+  cfg.mzm.insertion_loss_db = 0.0;
+  cfg.mzm.extinction_ratio_db = 200.0;
+  cfg.validate();
+  return cfg;
+}
+
+void PcnnaConfig::validate() const {
+  PCNNA_CHECK(fast_clock > 0.0 && io_clock > 0.0);
+  PCNNA_CHECK(num_input_dacs >= 1);
+  PCNNA_CHECK(num_adcs >= 1);
+  PCNNA_CHECK(word_bits >= 1);
+  PCNNA_CHECK(sram_port_words >= 1);
+  PCNNA_CHECK(max_wavelengths >= 1);
+  PCNNA_CHECK(adc_headroom > 0.0);
+  PCNNA_CHECK(stuck_ring_rate >= 0.0 && stuck_ring_rate <= 1.0);
+}
+
+} // namespace pcnna::core

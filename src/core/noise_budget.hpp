@@ -1,0 +1,75 @@
+// Closed-form analog noise budget (extension beyond the paper).
+//
+// The paper treats the optical MAC as exact; this model predicts, per layer
+// and per fast-clock pass, the photocurrent noise of the balanced detector
+// (RIN + shot + thermal over the detection bandwidth) referred back to
+// normalized MAC units, and the resulting signal-to-noise ratio. The
+// functional simulator (OpticalConvEngine) must agree with these
+// predictions — tests cross-validate the two — so architects can sweep the
+// budget without running the full simulation.
+//
+// Conventions match OpticalConvEngine: inputs x' in [0, 1] (RMS x_rms),
+// weights w' in [-1, 1] (RMS w_rms), one unit of normalized MAC produces
+// `denom_current` amps at the balanced photodiode.
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+#include "core/scheduler.hpp"
+#include "nn/conv_params.hpp"
+
+namespace pcnna::core {
+
+/// Per-layer noise breakdown. Currents in amps; MAC quantities are in
+/// normalized MAC units (sum of x'*w' terms).
+struct NoiseBudget {
+  std::string layer_name;
+  double denom_current = 0.0;     ///< amps per unit normalized MAC
+  double mean_branch_current = 0.0; ///< mean photocurrent per PD branch [A]
+
+  double sigma_rin = 0.0;     ///< current noise per pass from laser RIN [A]
+  double sigma_shot = 0.0;    ///< shot-noise current per pass [A]
+  double sigma_thermal = 0.0; ///< Johnson-noise current per pass [A]
+  double sigma_pass = 0.0;    ///< total current sigma per bank pass [A]
+
+  double mac_sigma = 0.0;     ///< MAC-referred noise across all passes
+  double adc_quantization_sigma = 0.0; ///< MAC-referred, lsb/sqrt(12)
+  double mac_rms = 0.0;       ///< RMS of the layer's normalized MAC values
+  double snr_db = 0.0;        ///< 20*log10(mac_rms / total sigma)
+
+  const char* dominant_source = ""; ///< "RIN" | "shot" | "thermal" | "ADC"
+
+  /// Total MAC-referred sigma (analog + quantization, independent sources).
+  double total_mac_sigma() const;
+};
+
+/// Input/weight distribution assumptions for the closed forms. Defaults
+/// match the synthetic generators (x ~ U[0,1); w He-scaled, normalized).
+struct SignalStats {
+  double x_rms = 0.577;  ///< sqrt(E[x'^2]) for x' ~ U[0,1)
+  double x_mean = 0.5;   ///< E[x']
+  double w_rms = 0.28;   ///< sqrt(E[w'^2]) after normalization to [-1,1]
+};
+
+class NoiseBudgetModel {
+ public:
+  explicit NoiseBudgetModel(PcnnaConfig config, SignalStats stats = {});
+
+  const PcnnaConfig& config() const { return config_; }
+  const SignalStats& stats() const { return stats_; }
+
+  /// Budget for one conv layer under the configured allocation.
+  NoiseBudget layer_budget(const nn::ConvLayerParams& layer) const;
+
+  /// Budget for an explicit (channels-per-pass, passes, fanout) mapping —
+  /// the primitive layer_budget() builds on.
+  NoiseBudget pass_budget(std::size_t channels_per_pass, std::size_t passes,
+                          std::size_t fanout, std::size_t n_kernel) const;
+
+ private:
+  PcnnaConfig config_;
+  SignalStats stats_;
+};
+
+} // namespace pcnna::core

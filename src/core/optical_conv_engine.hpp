@@ -1,0 +1,86 @@
+// Functional simulation of the PCNNA optical core.
+//
+// Computes a convolution by actually pushing values through the photonic
+// component models: inputs are DAC-quantized, imprinted on WDM laser
+// channels by MZMs, weighted by calibrated microring banks, summed on
+// balanced photodiodes (with RIN/shot/thermal noise), digitized by the ADC,
+// and rescaled electronically. Under PcnnaConfig::ideal() the result matches
+// the golden CPU convolution to near machine precision; under
+// paper_defaults() it quantifies the analog error budget.
+//
+// Execution follows the paper SS IV exactly: all K kernels are evaluated in
+// parallel for one receptive-field location, locations run sequentially,
+// and receptive fields wider than the WDM budget are split into segmented
+// bank passes whose balanced-photodiode currents wire-sum in analog
+// (full-kernel allocation) or into per-channel passes with electronic
+// partial-sum accumulation (per-channel allocation).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/config.hpp"
+#include "core/scheduler.hpp"
+#include "nn/tensor.hpp"
+
+namespace pcnna::core {
+
+/// Bookkeeping from one engine convolution.
+struct EngineStats {
+  std::uint64_t locations = 0;
+  std::uint64_t optical_passes = 0;    ///< bank passes (fast-clock events)
+  std::uint64_t dac_conversions = 0;   ///< input-DAC samples (plan-level)
+  std::uint64_t adc_conversions = 0;   ///< output samples digitized
+  std::uint64_t weight_dac_conversions = 0;
+  std::uint64_t recalibrations = 0;    ///< bank retuning episodes
+  std::uint64_t banks_built = 0;
+  std::uint64_t rings_used = 0;        ///< total rings in the mapping
+  std::uint64_t wavelengths_used = 0;  ///< WDM channels per pass
+  std::uint64_t stuck_rings = 0;       ///< injected heater faults
+  double mean_calibration_error = 0.0; ///< mean |w_eff - w_target|
+  double max_calibration_error = 0.0;
+  double total_heater_power = 0.0;     ///< [W] summed over all banks
+  double total_ring_area = 0.0;        ///< [m^2]
+};
+
+class OpticalConvEngine {
+ public:
+  explicit OpticalConvEngine(PcnnaConfig config);
+
+  const PcnnaConfig& config() const { return config_; }
+
+  /// Photonic convolution with the same contract as nn::conv2d_direct:
+  /// `input` [1, C, H, W] (values must be >= 0 — photonic amplitude
+  /// encoding; normalize or ReLU first), `weights` [K, C, m, m], optional
+  /// `bias` [1, K, 1, 1]. Returns [1, K, Ho, Wo].
+  nn::Tensor conv2d(const nn::Tensor& input, const nn::Tensor& weights,
+                    const nn::Tensor& bias, std::size_t stride,
+                    std::size_t pad, EngineStats* stats = nullptr);
+
+  /// Photonic fully-connected layer (the original broadcast-and-weight use
+  /// case, Tait et al.): `weights` [out, in, 1, 1], `bias` [1, out, 1, 1]
+  /// (optional), input flattened and non-negative. The input vector maps
+  /// onto WDM channel groups; one bank per output neuron; group partial
+  /// sums wire-sum in analog before one ADC sample per output.
+  nn::Tensor fully_connected(const nn::Tensor& input,
+                             const nn::Tensor& weights,
+                             const nn::Tensor& bias,
+                             EngineStats* stats = nullptr);
+
+  /// Reset the internal noise/fabrication RNG to the config seed (makes two
+  /// runs bit-identical).
+  void reset_rng() { rng_.reseed(config_.seed); }
+
+ private:
+  nn::Tensor run_full_kernel(const LayerPlan& plan, const nn::Tensor& input,
+                             const nn::Tensor& weights, const nn::Tensor& bias,
+                             EngineStats& stats);
+  nn::Tensor run_per_channel(const LayerPlan& plan, const nn::Tensor& input,
+                             const nn::Tensor& weights, const nn::Tensor& bias,
+                             EngineStats& stats);
+
+  PcnnaConfig config_;
+  Rng rng_;
+};
+
+} // namespace pcnna::core

@@ -1,0 +1,55 @@
+// Microring count and area model — paper SS V-A (Eqs. 4-5, Fig. 5).
+//
+// The headline optimization of PCNNA: filtering the non-receptive-field
+// values cuts the per-layer ring count from Ninput * K * Nkernel (Eq. 4)
+// to K * Nkernel (Eq. 5). The paper's conv4 worked number (3456 rings,
+// 2.2 mm^2) corresponds to a per-channel allocation K * m * m
+// (DESIGN.md inconsistency #1); both are modeled.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/units.hpp"
+#include "core/config.hpp"
+#include "nn/conv_params.hpp"
+
+namespace pcnna::core {
+
+class RingCountModel {
+ public:
+  /// `ring_pitch` is the square footprint side per ring; the paper uses
+  /// 25 um x 25 um per [10].
+  explicit RingCountModel(double ring_pitch = 25.0 * units::um);
+
+  double ring_pitch() const { return ring_pitch_; }
+
+  /// Eq. (4): rings without receptive-field filtering =
+  /// Ninput * K * Nkernel.
+  std::uint64_t unfiltered(const nn::ConvLayerParams& layer) const;
+
+  /// Eq. (5) (full-kernel): rings with filtering = K * Nkernel.
+  /// Per-channel allocation: K * m * m.
+  std::uint64_t filtered(const nn::ConvLayerParams& layer,
+                         RingAllocation allocation =
+                             RingAllocation::kFullKernel) const;
+
+  /// unfiltered / filtered for the full-kernel allocation; the paper notes
+  /// this equals Ninput (conv1: > 150 000x).
+  double savings_factor(const nn::ConvLayerParams& layer) const;
+
+  /// Die area for `rings` microrings [m^2].
+  double area(std::uint64_t rings) const;
+
+  /// Sum of filtered ring counts over a set of layers (what a
+  /// one-layer-at-a-time PCNNA must provision: the max, not the sum, if the
+  /// single physical layer is virtually reused — both are useful).
+  std::uint64_t max_filtered(std::span<const nn::ConvLayerParams> layers,
+                             RingAllocation allocation =
+                                 RingAllocation::kFullKernel) const;
+
+ private:
+  double ring_pitch_;
+};
+
+} // namespace pcnna::core

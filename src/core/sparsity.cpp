@@ -1,0 +1,46 @@
+#include "core/sparsity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pcnna::core {
+
+SparsityAnalyzer::SparsityAnalyzer(double threshold) : threshold_(threshold) {
+  PCNNA_CHECK(threshold >= 0.0);
+}
+
+SparsityStats SparsityAnalyzer::analyze(const nn::Tensor& weights) const {
+  PCNNA_CHECK_MSG(!weights.empty(), "empty weight tensor");
+  const std::size_t K = weights.shape().n;
+  const std::size_t per_kernel =
+      weights.shape().c * weights.shape().h * weights.shape().w;
+
+  SparsityStats stats;
+  stats.total_weights = weights.size();
+  for (std::size_t k = 0; k < K; ++k) {
+    std::uint64_t nonzero = 0;
+    for (std::size_t i = 0; i < per_kernel; ++i) {
+      if (std::abs(weights[k * per_kernel + i]) > threshold_) ++nonzero;
+    }
+    stats.nonzero_weights += nonzero;
+    stats.max_nonzero_per_kernel =
+        std::max(stats.max_nonzero_per_kernel, nonzero);
+  }
+  stats.sparsity = 1.0 - static_cast<double>(stats.nonzero_weights) /
+                             static_cast<double>(stats.total_weights);
+  stats.pruned_rings = stats.nonzero_weights;
+  stats.pruned_rings_uniform = stats.max_nonzero_per_kernel * K;
+  return stats;
+}
+
+double SparsityAnalyzer::heater_power_saved(const PcnnaConfig& config,
+                                            const SparsityStats& stats) const {
+  const std::uint64_t pruned = stats.total_weights - stats.nonzero_weights;
+  const double mean_heater_per_ring =
+      0.5 * config.bank.ring.max_detuning / config.bank.ring.thermal_efficiency;
+  return static_cast<double>(pruned) * mean_heater_per_ring;
+}
+
+} // namespace pcnna::core

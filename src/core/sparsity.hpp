@@ -1,0 +1,57 @@
+// Kernel-sparsity analysis (extension beyond the paper).
+//
+// The paper's introduction motivates PCNNA with the "sparsity of
+// connections between input feature maps and kernels"; receptive-field
+// filtering exploits the *structural* sparsity. This module additionally
+// exploits *value* sparsity in pruned kernels: rings whose weight is zero
+// can be left parked far off resonance — they still occupy area but draw no
+// heater power and contribute no crosstalk, and a design targeting a known
+// pruned model can drop them entirely.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "nn/conv_params.hpp"
+#include "nn/tensor.hpp"
+
+namespace pcnna::core {
+
+/// Value-sparsity statistics of one layer's kernel bank.
+struct SparsityStats {
+  std::uint64_t total_weights = 0;
+  std::uint64_t nonzero_weights = 0;
+  /// Fraction of exactly-zero weights in [0, 1].
+  double sparsity = 0.0;
+  /// Largest nonzero count across kernels — a shared-rings design that
+  /// reuses one physical bank per kernel slot must provision for the worst
+  /// kernel, not the average.
+  std::uint64_t max_nonzero_per_kernel = 0;
+
+  /// Rings needed when zero-weight rings are dropped at design time.
+  std::uint64_t pruned_rings = 0;
+  /// Rings needed when one shared bank layout serves all kernels (sized by
+  /// the densest kernel): max_nonzero_per_kernel * K.
+  std::uint64_t pruned_rings_uniform = 0;
+};
+
+class SparsityAnalyzer {
+ public:
+  /// Weights below `threshold` in magnitude count as zero (prune level).
+  explicit SparsityAnalyzer(double threshold = 0.0);
+
+  double threshold() const { return threshold_; }
+
+  /// Analyze a kernel bank tensor of shape [K, nc, m, m].
+  SparsityStats analyze(const nn::Tensor& weights) const;
+
+  /// Mean heater power saved per pruned ring: a parked ring needs no
+  /// detuning drive (vs the ~half-max-detuning average of an active ring).
+  double heater_power_saved(const PcnnaConfig& config,
+                            const SparsityStats& stats) const;
+
+ private:
+  double threshold_;
+};
+
+} // namespace pcnna::core

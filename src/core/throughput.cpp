@@ -1,0 +1,71 @@
+#include "core/throughput.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace pcnna::core {
+
+ThroughputModel::ThroughputModel(PcnnaConfig config, TimingFidelity fidelity)
+    : timing_(std::move(config), fidelity) {}
+
+ThroughputReport ThroughputModel::pipeline(
+    const std::vector<nn::ConvLayerParams>& layers, std::size_t cores) const {
+  PCNNA_CHECK(!layers.empty());
+  PCNNA_CHECK(cores >= 1);
+  const std::size_t n = layers.size();
+  const std::size_t p = std::min(cores, n);
+
+  std::vector<double> times(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    times[i] = timing_.layer_time(layers[i]).full_system_time;
+    total += times[i];
+  }
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + times[i];
+
+  // dp[k][i]: minimal max-stage-time partitioning the first i layers into k
+  // contiguous stages. split[k][i] records the last stage's start.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(p + 1, std::vector<double>(n + 1, kInf));
+  std::vector<std::vector<std::size_t>> split(
+      p + 1, std::vector<std::size_t>(n + 1, 0));
+  dp[0][0] = 0.0;
+  for (std::size_t k = 1; k <= p; ++k) {
+    for (std::size_t i = k; i <= n; ++i) {
+      for (std::size_t j = k - 1; j < i; ++j) {
+        if (dp[k - 1][j] == kInf) continue;
+        const double candidate =
+            std::max(dp[k - 1][j], prefix[i] - prefix[j]);
+        if (candidate < dp[k][i]) {
+          dp[k][i] = candidate;
+          split[k][i] = j;
+        }
+      }
+    }
+  }
+
+  ThroughputReport report;
+  report.cores = p;
+  report.latency = total;
+  report.interval = dp[p][n];
+
+  // Reconstruct stage boundaries.
+  std::vector<std::pair<std::size_t, std::size_t>> stages_rev;
+  std::size_t end = n;
+  for (std::size_t k = p; k >= 1; --k) {
+    const std::size_t begin = split[k][end];
+    stages_rev.push_back({begin, end - 1});
+    end = begin;
+  }
+  report.stages.assign(stages_rev.rbegin(), stages_rev.rend());
+  for (const auto& [first, last] : report.stages) {
+    report.stage_times.push_back(prefix[last + 1] - prefix[first]);
+  }
+  report.throughput_speedup = total / report.interval;
+  return report;
+}
+
+} // namespace pcnna::core

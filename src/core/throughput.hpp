@@ -1,0 +1,53 @@
+// Multi-core layer-pipelined throughput model (extension beyond the paper).
+//
+// The paper (SS I) notes that data dependencies across layers block
+// *intra-image* inter-layer parallelization, and PCNNA therefore processes
+// layers sequentially on one virtually-reused core. Across a *batch*,
+// however, P physical cores can be pipelined — core p runs its contiguous
+// slice of layers on image i while core p+1 runs its slice on image i-1.
+// This model partitions the conv stack across P cores to minimize the
+// pipeline interval (the slowest stage) and reports latency vs throughput.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/timing_model.hpp"
+#include "nn/conv_params.hpp"
+
+namespace pcnna::core {
+
+/// Result of pipelining a conv stack across `cores` PCNNA cores.
+struct ThroughputReport {
+  std::size_t cores = 1;
+  /// Per-image latency (sum of all layer times; unchanged by pipelining).
+  double latency = 0.0;
+  /// Pipeline initiation interval: the slowest stage's total time.
+  double interval = 0.0;
+  double images_per_second() const {
+    return interval > 0.0 ? 1.0 / interval : 0.0;
+  }
+  /// Speedup over the single-core sequential throughput.
+  double throughput_speedup = 1.0;
+  /// [first, last] layer index (inclusive) per core.
+  std::vector<std::pair<std::size_t, std::size_t>> stages;
+  /// Total time of each stage.
+  std::vector<double> stage_times;
+};
+
+class ThroughputModel {
+ public:
+  ThroughputModel(PcnnaConfig config,
+                  TimingFidelity fidelity = TimingFidelity::kPaper);
+
+  /// Optimal contiguous partition of `layers` across `cores` stages
+  /// (classic linear-partition DP, minimizing the max stage time).
+  ThroughputReport pipeline(const std::vector<nn::ConvLayerParams>& layers,
+                            std::size_t cores) const;
+
+ private:
+  TimingModel timing_;
+};
+
+} // namespace pcnna::core

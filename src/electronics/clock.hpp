@@ -1,0 +1,58 @@
+// Clock domains.
+//
+// Paper SS IV: "PCNNA runs on two clock domains, a fast clock domain (5GHz),
+// which runs the optical sub-systems and their immediate electronic
+// circuitry, and a main slower clock domain to interface with the external
+// environment."
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace pcnna::elec {
+
+/// A named clock domain; converts between cycle counts and wall time.
+class ClockDomain {
+ public:
+  ClockDomain(std::string name, double frequency)
+      : name_(std::move(name)), frequency_(frequency) {
+    PCNNA_CHECK(frequency > 0.0);
+  }
+
+  const std::string& name() const { return name_; }
+  double frequency() const { return frequency_; }
+  double period() const { return 1.0 / frequency_; }
+
+  /// Wall time of `cycles` cycles [s].
+  double time_for(std::uint64_t cycles) const {
+    return static_cast<double>(cycles) * period();
+  }
+
+  /// Cycles needed to cover `seconds` of wall time (rounded up, with a
+  /// relative epsilon so exact multiples survive floating-point round-off).
+  std::uint64_t cycles_for(double seconds) const {
+    PCNNA_CHECK(seconds >= 0.0);
+    const double c = seconds * frequency_;
+    const double rounded = std::round(c);
+    if (std::abs(c - rounded) < 1e-9 * std::max(1.0, c))
+      return static_cast<std::uint64_t>(rounded);
+    return static_cast<std::uint64_t>(std::ceil(c));
+  }
+
+ private:
+  std::string name_;
+  double frequency_;
+};
+
+/// The paper's two-domain arrangement.
+struct ClockPair {
+  ClockDomain fast{"optical", 5.0 * units::GHz};
+  ClockDomain main{"io", 500.0 * units::MHz};
+};
+
+} // namespace pcnna::elec

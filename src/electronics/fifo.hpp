@@ -1,0 +1,66 @@
+// FIFO buffer between clock domains.
+//
+// Paper Fig. 4: "Buffers isolate the fast optical core from the outside slow
+// clock environment." The kernel-weight buffer, input buffer and output
+// buffer are instances of this bounded word FIFO; the accelerator uses the
+// occupancy high-water mark to size them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace pcnna::elec {
+
+/// Bounded FIFO counted in words; tracks a high-water mark. The simulator
+/// moves data in bulk, so only occupancy (not element values) is modeled.
+class FifoBuffer {
+ public:
+  FifoBuffer(std::string name, std::uint64_t capacity_words)
+      : name_(std::move(name)), capacity_(capacity_words) {
+    PCNNA_CHECK(capacity_words > 0);
+  }
+
+  const std::string& name() const { return name_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t size() const { return size_; }
+  std::uint64_t free_space() const { return capacity_ - size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+
+  /// Largest occupancy ever observed (for buffer sizing).
+  std::uint64_t high_water_mark() const { return high_water_; }
+
+  /// Push `words`; throws on overflow (a correct schedule never overflows).
+  void push(std::uint64_t words) {
+    PCNNA_CHECK_MSG(size_ + words <= capacity_,
+                    "FIFO '" << name_ << "' overflow: " << size_ + words
+                             << " > " << capacity_);
+    size_ += words;
+    if (size_ > high_water_) high_water_ = size_;
+    total_pushed_ += words;
+  }
+
+  /// Pop `words`; throws on underflow.
+  void pop(std::uint64_t words) {
+    PCNNA_CHECK_MSG(words <= size_,
+                    "FIFO '" << name_ << "' underflow: pop " << words
+                             << " of " << size_);
+    size_ -= words;
+  }
+
+  /// Total words ever pushed (throughput accounting).
+  std::uint64_t total_pushed() const { return total_pushed_; }
+
+  void clear() { size_ = 0; }
+
+ private:
+  std::string name_;
+  std::uint64_t capacity_;
+  std::uint64_t size_ = 0;
+  std::uint64_t high_water_ = 0;
+  std::uint64_t total_pushed_ = 0;
+};
+
+} // namespace pcnna::elec

@@ -1,0 +1,290 @@
+#include "nn/conv_ref.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcnna::nn {
+namespace {
+
+std::size_t out_side(std::size_t in, std::size_t m, std::size_t stride,
+                     std::size_t pad) {
+  PCNNA_CHECK_MSG(in + 2 * pad >= m, "kernel larger than padded input");
+  return (in + 2 * pad - m) / stride + 1;
+}
+
+void check_conv_args(const Tensor& input, const Tensor& weights,
+                     const Tensor& bias, std::size_t stride) {
+  PCNNA_CHECK_MSG(input.shape().n == 1, "batched inputs not supported");
+  PCNNA_CHECK_MSG(weights.shape().c == input.shape().c,
+                  "weight channels " << weights.shape().c
+                                     << " != input channels " << input.shape().c);
+  PCNNA_CHECK_MSG(weights.shape().h == weights.shape().w,
+                  "only square kernels supported");
+  PCNNA_CHECK(stride > 0);
+  if (!bias.empty()) {
+    PCNNA_CHECK_MSG(bias.shape().c == weights.shape().n &&
+                        bias.shape().n == 1 && bias.shape().h == 1 &&
+                        bias.shape().w == 1,
+                    "bias must have shape [1, K, 1, 1]");
+  }
+}
+
+} // namespace
+
+Tensor conv2d_direct(const Tensor& input, const Tensor& weights,
+                     const Tensor& bias, std::size_t stride, std::size_t pad) {
+  check_conv_args(input, weights, bias, stride);
+  const std::size_t C = input.shape().c;
+  const std::size_t H = input.shape().h;
+  const std::size_t W = input.shape().w;
+  const std::size_t K = weights.shape().n;
+  const std::size_t m = weights.shape().h;
+  const std::size_t Ho = out_side(H, m, stride, pad);
+  const std::size_t Wo = out_side(W, m, stride, pad);
+
+  Tensor out(Shape4{1, K, Ho, Wo});
+  for (std::size_t k = 0; k < K; ++k) {
+    const double b = bias.empty() ? 0.0 : bias.at(0, k, 0, 0);
+    for (std::size_t oy = 0; oy < Ho; ++oy) {
+      for (std::size_t ox = 0; ox < Wo; ++ox) {
+        double acc = b;
+        for (std::size_t c = 0; c < C; ++c) {
+          for (std::size_t ky = 0; ky < m; ++ky) {
+            // Signed arithmetic for the padded coordinate.
+            const long long iy = static_cast<long long>(oy * stride + ky) -
+                                 static_cast<long long>(pad);
+            if (iy < 0 || iy >= static_cast<long long>(H)) continue;
+            for (std::size_t kx = 0; kx < m; ++kx) {
+              const long long ix = static_cast<long long>(ox * stride + kx) -
+                                   static_cast<long long>(pad);
+              if (ix < 0 || ix >= static_cast<long long>(W)) continue;
+              acc += input.at(0, c, static_cast<std::size_t>(iy),
+                              static_cast<std::size_t>(ix)) *
+                     weights.at(k, c, ky, kx);
+            }
+          }
+        }
+        out.at(0, k, oy, ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor im2col(const Tensor& input, std::size_t m, std::size_t stride,
+              std::size_t pad) {
+  PCNNA_CHECK(input.shape().n == 1);
+  const std::size_t C = input.shape().c;
+  const std::size_t H = input.shape().h;
+  const std::size_t W = input.shape().w;
+  const std::size_t Ho = out_side(H, m, stride, pad);
+  const std::size_t Wo = out_side(W, m, stride, pad);
+  const std::size_t rows = C * m * m;
+  const std::size_t cols = Ho * Wo;
+
+  Tensor cols_t(Shape4{1, 1, rows, cols});
+  for (std::size_t c = 0; c < C; ++c) {
+    for (std::size_t ky = 0; ky < m; ++ky) {
+      for (std::size_t kx = 0; kx < m; ++kx) {
+        const std::size_t r = (c * m + ky) * m + kx;
+        for (std::size_t oy = 0; oy < Ho; ++oy) {
+          const long long iy = static_cast<long long>(oy * stride + ky) -
+                               static_cast<long long>(pad);
+          for (std::size_t ox = 0; ox < Wo; ++ox) {
+            const long long ix = static_cast<long long>(ox * stride + kx) -
+                                 static_cast<long long>(pad);
+            double v = 0.0;
+            if (iy >= 0 && iy < static_cast<long long>(H) && ix >= 0 &&
+                ix < static_cast<long long>(W)) {
+              v = input.at(0, c, static_cast<std::size_t>(iy),
+                           static_cast<std::size_t>(ix));
+            }
+            cols_t.at(0, 0, r, oy * Wo + ox) = v;
+          }
+        }
+      }
+    }
+  }
+  return cols_t;
+}
+
+Tensor conv2d_im2col(const Tensor& input, const Tensor& weights,
+                     const Tensor& bias, std::size_t stride, std::size_t pad) {
+  check_conv_args(input, weights, bias, stride);
+  const std::size_t K = weights.shape().n;
+  const std::size_t m = weights.shape().h;
+  const std::size_t Ho = out_side(input.shape().h, m, stride, pad);
+  const std::size_t Wo = out_side(input.shape().w, m, stride, pad);
+
+  const Tensor cols = im2col(input, m, stride, pad);
+  const std::size_t rows = cols.shape().h; // C*m*m
+  const std::size_t locs = cols.shape().w; // Ho*Wo
+
+  Tensor out(Shape4{1, K, Ho, Wo});
+  for (std::size_t k = 0; k < K; ++k) {
+    const double b = bias.empty() ? 0.0 : bias.at(0, k, 0, 0);
+    for (std::size_t l = 0; l < locs; ++l) {
+      double acc = b;
+      for (std::size_t r = 0; r < rows; ++r) {
+        acc += weights[k * rows + r] * cols.at(0, 0, r, l);
+      }
+      out[k * locs + l] = acc;
+    }
+  }
+  return out;
+}
+
+std::vector<double> receptive_field(const Tensor& input, std::size_t m,
+                                    std::size_t stride, std::size_t pad,
+                                    std::size_t oy, std::size_t ox) {
+  PCNNA_CHECK(input.shape().n == 1);
+  const std::size_t C = input.shape().c;
+  const std::size_t H = input.shape().h;
+  const std::size_t W = input.shape().w;
+  PCNNA_CHECK(oy < out_side(H, m, stride, pad));
+  PCNNA_CHECK(ox < out_side(W, m, stride, pad));
+
+  std::vector<double> field;
+  field.reserve(C * m * m);
+  for (std::size_t c = 0; c < C; ++c) {
+    for (std::size_t ky = 0; ky < m; ++ky) {
+      const long long iy = static_cast<long long>(oy * stride + ky) -
+                           static_cast<long long>(pad);
+      for (std::size_t kx = 0; kx < m; ++kx) {
+        const long long ix = static_cast<long long>(ox * stride + kx) -
+                             static_cast<long long>(pad);
+        double v = 0.0;
+        if (iy >= 0 && iy < static_cast<long long>(H) && ix >= 0 &&
+            ix < static_cast<long long>(W)) {
+          v = input.at(0, c, static_cast<std::size_t>(iy),
+                       static_cast<std::size_t>(ix));
+        }
+        field.push_back(v);
+      }
+    }
+  }
+  return field;
+}
+
+Tensor relu(const Tensor& input) {
+  Tensor out = input;
+  for (double& v : out.data()) v = std::max(0.0, v);
+  return out;
+}
+
+namespace {
+
+template <typename Reduce>
+Tensor pool2d(const Tensor& input, std::size_t window, std::size_t stride,
+              double init, Reduce reduce, bool average) {
+  PCNNA_CHECK(input.shape().n == 1);
+  PCNNA_CHECK(window > 0 && stride > 0);
+  const std::size_t C = input.shape().c;
+  const std::size_t H = input.shape().h;
+  const std::size_t W = input.shape().w;
+  PCNNA_CHECK(H >= window && W >= window);
+  const std::size_t Ho = (H - window) / stride + 1;
+  const std::size_t Wo = (W - window) / stride + 1;
+
+  Tensor out(Shape4{1, C, Ho, Wo});
+  for (std::size_t c = 0; c < C; ++c) {
+    for (std::size_t oy = 0; oy < Ho; ++oy) {
+      for (std::size_t ox = 0; ox < Wo; ++ox) {
+        double acc = init;
+        for (std::size_t ky = 0; ky < window; ++ky) {
+          for (std::size_t kx = 0; kx < window; ++kx) {
+            acc = reduce(acc, input.at(0, c, oy * stride + ky, ox * stride + kx));
+          }
+        }
+        if (average) acc /= static_cast<double>(window * window);
+        out.at(0, c, oy, ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+} // namespace
+
+Tensor maxpool2d(const Tensor& input, std::size_t window, std::size_t stride) {
+  return pool2d(
+      input, window, stride, -std::numeric_limits<double>::infinity(),
+      [](double a, double b) { return std::max(a, b); }, /*average=*/false);
+}
+
+Tensor avgpool2d(const Tensor& input, std::size_t window, std::size_t stride) {
+  return pool2d(
+      input, window, stride, 0.0, [](double a, double b) { return a + b; },
+      /*average=*/true);
+}
+
+Tensor lrn(const Tensor& input, std::size_t size, double alpha, double beta,
+           double k) {
+  PCNNA_CHECK(input.shape().n == 1 && size > 0);
+  const std::size_t C = input.shape().c;
+  const std::size_t H = input.shape().h;
+  const std::size_t W = input.shape().w;
+  const long long half = static_cast<long long>(size / 2);
+
+  Tensor out(input.shape());
+  for (std::size_t c = 0; c < C; ++c) {
+    const long long lo = std::max<long long>(0, static_cast<long long>(c) - half);
+    const long long hi =
+        std::min<long long>(static_cast<long long>(C) - 1,
+                            static_cast<long long>(c) + half);
+    for (std::size_t y = 0; y < H; ++y) {
+      for (std::size_t x = 0; x < W; ++x) {
+        double sumsq = 0.0;
+        for (long long j = lo; j <= hi; ++j) {
+          const double a = input.at(0, static_cast<std::size_t>(j), y, x);
+          sumsq += a * a;
+        }
+        const double denom =
+            std::pow(k + alpha / static_cast<double>(size) * sumsq, beta);
+        out.at(0, c, y, x) = input.at(0, c, y, x) / denom;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor fully_connected(const Tensor& input, const Tensor& weights,
+                       const Tensor& bias) {
+  const std::size_t in = input.size();
+  const std::size_t out_n = weights.shape().n;
+  PCNNA_CHECK_MSG(weights.shape().c == in && weights.shape().h == 1 &&
+                      weights.shape().w == 1,
+                  "FC weights must be [out, in, 1, 1] with in == input size");
+  if (!bias.empty()) PCNNA_CHECK(bias.size() == out_n);
+
+  Tensor out(Shape4{1, out_n, 1, 1});
+  for (std::size_t o = 0; o < out_n; ++o) {
+    double acc = bias.empty() ? 0.0 : bias[o];
+    for (std::size_t i = 0; i < in; ++i) acc += weights[o * in + i] * input[i];
+    out[o] = acc;
+  }
+  return out;
+}
+
+Tensor softmax(const Tensor& input) {
+  PCNNA_CHECK(!input.empty());
+  Tensor out = input;
+  const double mx = input.max();
+  double sum = 0.0;
+  for (double& v : out.data()) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (double& v : out.data()) v /= sum;
+  return out;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  PCNNA_CHECK(a.shape() == b.shape());
+  double mx = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    mx = std::max(mx, std::abs(a[i] - b[i]));
+  return mx;
+}
+
+} // namespace pcnna::nn

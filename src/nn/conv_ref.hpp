@@ -1,0 +1,66 @@
+// Golden CPU reference implementations of the CNN operators.
+//
+// Two independent convolution implementations (direct sliding-window and
+// im2col + matmul) cross-check each other in tests and serve as the
+// numerical ground truth for the photonic MAC path.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/conv_params.hpp"
+#include "nn/tensor.hpp"
+
+namespace pcnna::nn {
+
+/// Direct sliding-window 2-D convolution (cross-correlation, as in all deep
+/// learning frameworks).
+///
+/// `input` has shape [1, C, H, W]; `weights` has shape [K, C, m, m];
+/// `bias` (optional, may be empty) has shape [1, K, 1, 1].
+/// Returns [1, K, Ho, Wo] with Ho = (H + 2p - m)/s + 1 (floor).
+Tensor conv2d_direct(const Tensor& input, const Tensor& weights,
+                     const Tensor& bias, std::size_t stride, std::size_t pad);
+
+/// im2col + matrix-multiply convolution; same contract as conv2d_direct.
+Tensor conv2d_im2col(const Tensor& input, const Tensor& weights,
+                     const Tensor& bias, std::size_t stride, std::size_t pad);
+
+/// Lower `input` [1, C, H, W] to a column matrix [C*m*m, Ho*Wo] stored as a
+/// tensor of shape [1, 1, C*m*m, Ho*Wo]. Out-of-bounds (padding) reads are 0.
+Tensor im2col(const Tensor& input, std::size_t m, std::size_t stride,
+              std::size_t pad);
+
+/// Extract the receptive field of `input` [1, C, H, W] at output location
+/// (oy, ox): the C*m*m values (channel-major, then ky, then kx) the kernel
+/// sees at that location. This is exactly the value vector PCNNA loads into
+/// its input cache per kernel location.
+std::vector<double> receptive_field(const Tensor& input, std::size_t m,
+                                    std::size_t stride, std::size_t pad,
+                                    std::size_t oy, std::size_t ox);
+
+/// Elementwise max(0, x).
+Tensor relu(const Tensor& input);
+
+/// 2-D max pooling with square window `window` and stride `stride`.
+Tensor maxpool2d(const Tensor& input, std::size_t window, std::size_t stride);
+
+/// 2-D average pooling with square window `window` and stride `stride`.
+Tensor avgpool2d(const Tensor& input, std::size_t window, std::size_t stride);
+
+/// Local response normalization across channels (AlexNet Sec. 3.3):
+/// b = a / (k + alpha/size * sum_{j in window} a_j^2)^beta.
+Tensor lrn(const Tensor& input, std::size_t size = 5, double alpha = 1e-4,
+           double beta = 0.75, double k = 2.0);
+
+/// Fully connected layer: `weights` [out, in, 1, 1], `bias` [1, out, 1, 1]
+/// (optional, may be empty), input flattened. Returns [1, out, 1, 1].
+Tensor fully_connected(const Tensor& input, const Tensor& weights,
+                       const Tensor& bias);
+
+/// Numerically stable softmax over the flattened input.
+Tensor softmax(const Tensor& input);
+
+/// Maximum absolute elementwise difference; shapes must match.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+} // namespace pcnna::nn

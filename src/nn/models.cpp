@@ -1,0 +1,124 @@
+#include "nn/models.hpp"
+
+namespace pcnna::nn {
+
+std::vector<ConvLayerParams> alexnet_conv_layers() {
+  // Single-tower AlexNet on a 224x224x3 input, matching the paper's worked
+  // numbers (conv1: 96 kernels of 11x11x3; conv4 holds the most weights).
+  return {
+      {"conv1", /*n=*/224, /*m=*/11, /*p=*/2, /*s=*/4, /*nc=*/3, /*K=*/96},
+      {"conv2", /*n=*/27, /*m=*/5, /*p=*/2, /*s=*/1, /*nc=*/96, /*K=*/256},
+      {"conv3", /*n=*/13, /*m=*/3, /*p=*/1, /*s=*/1, /*nc=*/256, /*K=*/384},
+      {"conv4", /*n=*/13, /*m=*/3, /*p=*/1, /*s=*/1, /*nc=*/384, /*K=*/384},
+      {"conv5", /*n=*/13, /*m=*/3, /*p=*/1, /*s=*/1, /*nc=*/384, /*K=*/256},
+  };
+}
+
+Network alexnet() {
+  const auto conv = alexnet_conv_layers();
+  Network net("alexnet", Shape4{1, 3, 224, 224});
+  net.add_conv(conv[0]).add_relu().add_lrn().add_maxpool(3, 2);
+  net.add_conv(conv[1]).add_relu().add_lrn().add_maxpool(3, 2);
+  net.add_conv(conv[2]).add_relu();
+  net.add_conv(conv[3]).add_relu();
+  net.add_conv(conv[4]).add_relu().add_maxpool(3, 2);
+  net.add_fc(4096).add_relu();
+  net.add_fc(4096).add_relu();
+  net.add_fc(1000).add_softmax();
+  return net;
+}
+
+std::vector<ConvLayerParams> lenet5_conv_layers() {
+  return {
+      {"c1", /*n=*/32, /*m=*/5, /*p=*/0, /*s=*/1, /*nc=*/1, /*K=*/6},
+      {"c3", /*n=*/14, /*m=*/5, /*p=*/0, /*s=*/1, /*nc=*/6, /*K=*/16},
+      {"c5", /*n=*/5, /*m=*/5, /*p=*/0, /*s=*/1, /*nc=*/16, /*K=*/120},
+  };
+}
+
+Network lenet5() {
+  const auto conv = lenet5_conv_layers();
+  Network net("lenet5", Shape4{1, 1, 32, 32});
+  net.add_conv(conv[0]).add_relu().add_avgpool(2, 2);
+  net.add_conv(conv[1]).add_relu().add_avgpool(2, 2);
+  net.add_conv(conv[2]).add_relu();
+  net.add_fc(84).add_relu();
+  net.add_fc(10).add_softmax();
+  return net;
+}
+
+std::vector<ConvLayerParams> vgg16_conv_layers() {
+  return {
+      {"conv1_1", 224, 3, 1, 1, 3, 64},    {"conv1_2", 224, 3, 1, 1, 64, 64},
+      {"conv2_1", 112, 3, 1, 1, 64, 128},  {"conv2_2", 112, 3, 1, 1, 128, 128},
+      {"conv3_1", 56, 3, 1, 1, 128, 256},  {"conv3_2", 56, 3, 1, 1, 256, 256},
+      {"conv3_3", 56, 3, 1, 1, 256, 256},  {"conv4_1", 28, 3, 1, 1, 256, 512},
+      {"conv4_2", 28, 3, 1, 1, 512, 512},  {"conv4_3", 28, 3, 1, 1, 512, 512},
+      {"conv5_1", 14, 3, 1, 1, 512, 512},  {"conv5_2", 14, 3, 1, 1, 512, 512},
+      {"conv5_3", 14, 3, 1, 1, 512, 512},
+  };
+}
+
+Network vgg16() {
+  const auto conv = vgg16_conv_layers();
+  Network net("vgg16", Shape4{1, 3, 224, 224});
+  net.add_conv(conv[0]).add_relu();
+  net.add_conv(conv[1]).add_relu().add_maxpool(2, 2);
+  net.add_conv(conv[2]).add_relu();
+  net.add_conv(conv[3]).add_relu().add_maxpool(2, 2);
+  net.add_conv(conv[4]).add_relu();
+  net.add_conv(conv[5]).add_relu();
+  net.add_conv(conv[6]).add_relu().add_maxpool(2, 2);
+  net.add_conv(conv[7]).add_relu();
+  net.add_conv(conv[8]).add_relu();
+  net.add_conv(conv[9]).add_relu().add_maxpool(2, 2);
+  net.add_conv(conv[10]).add_relu();
+  net.add_conv(conv[11]).add_relu();
+  net.add_conv(conv[12]).add_relu().add_maxpool(2, 2);
+  net.add_fc(4096).add_relu();
+  net.add_fc(4096).add_relu();
+  net.add_fc(1000).add_softmax();
+  return net;
+}
+
+std::vector<ConvLayerParams> resnet18_conv_layers() {
+  std::vector<ConvLayerParams> layers;
+  layers.push_back({"conv1", 224, 7, 3, 2, 3, 64}); // stem -> 112, pool -> 56
+  // Stage 1: two basic blocks at 56x56x64.
+  for (int i = 0; i < 4; ++i)
+    layers.push_back({"l1_b" + std::to_string(i / 2) + "_c" +
+                          std::to_string(i % 2 + 1),
+                      56, 3, 1, 1, 64, 64});
+  // Stages 2-4: first block strides down and doubles channels, with a 1x1
+  // projection on the shortcut; second block is plain.
+  struct Stage {
+    const char* name;
+    std::uint64_t in_side, in_ch, out_ch;
+  };
+  const Stage stages[] = {{"l2", 56, 64, 128},
+                          {"l3", 28, 128, 256},
+                          {"l4", 14, 256, 512}};
+  for (const Stage& s : stages) {
+    const std::string p(s.name);
+    const std::uint64_t out_side = s.in_side / 2;
+    layers.push_back({p + "_b0_c1", s.in_side, 3, 1, 2, s.in_ch, s.out_ch});
+    layers.push_back({p + "_b0_c2", out_side, 3, 1, 1, s.out_ch, s.out_ch});
+    layers.push_back({p + "_b0_ds", s.in_side, 1, 0, 2, s.in_ch, s.out_ch});
+    layers.push_back({p + "_b1_c1", out_side, 3, 1, 1, s.out_ch, s.out_ch});
+    layers.push_back({p + "_b1_c2", out_side, 3, 1, 1, s.out_ch, s.out_ch});
+  }
+  return layers;
+}
+
+Network tiny_cnn() {
+  Network net("tiny_cnn", Shape4{1, 2, 8, 8});
+  net.add_conv({"t1", /*n=*/8, /*m=*/3, /*p=*/1, /*s=*/1, /*nc=*/2, /*K=*/4})
+      .add_relu()
+      .add_maxpool(2, 2);
+  net.add_conv({"t2", /*n=*/4, /*m=*/3, /*p=*/0, /*s=*/1, /*nc=*/4, /*K=*/8})
+      .add_relu();
+  net.add_fc(10).add_softmax();
+  return net;
+}
+
+} // namespace pcnna::nn

@@ -1,0 +1,48 @@
+// Catalog of CNN models used by the paper's evaluation and our extensions.
+//
+// AlexNet is the paper's evaluation workload (SS V). LeNet-5 and VGG-16 are
+// used by the extension benches to show how the ring-count and timing models
+// generalize across network scales.
+#pragma once
+
+#include <vector>
+
+#include "nn/conv_params.hpp"
+#include "nn/network.hpp"
+
+namespace pcnna::nn {
+
+/// The five AlexNet convolution layers exactly as the paper uses them
+/// (224x224x3 input, 96 kernels of 11x11x3 in conv1, ...). conv1 reproduces
+/// the paper's worked numbers: Ninput = 150 528, Nkernel = 363.
+std::vector<ConvLayerParams> alexnet_conv_layers();
+
+/// Full AlexNet graph: conv/relu/lrn/pool stack + 3 FC layers + softmax
+/// (single-tower formulation).
+Network alexnet();
+
+/// LeNet-5 conv layers (32x32x1 input).
+std::vector<ConvLayerParams> lenet5_conv_layers();
+
+/// Full LeNet-5 graph (conv/avgpool stack + FC + softmax).
+Network lenet5();
+
+/// The 13 VGG-16 convolution layers (all 3x3, pad 1, stride 1).
+std::vector<ConvLayerParams> vgg16_conv_layers();
+
+/// Full VGG-16 graph.
+Network vgg16();
+
+/// The 20 ResNet-18 convolution layers (stem + 4 stages of basic blocks +
+/// the three 1x1 downsample projections). The paper's introduction cites
+/// ResNet [1] as the motivating modern CNN; residual adds are electronic,
+/// so only the conv list (the optical workload) is cataloged — there is no
+/// sequential Network graph for it.
+std::vector<ConvLayerParams> resnet18_conv_layers();
+
+/// A deliberately small network (8x8 input, two tiny conv layers) used by
+/// integration tests and the quickstart example where full AlexNet would be
+/// needlessly slow to simulate functionally.
+Network tiny_cnn();
+
+} // namespace pcnna::nn

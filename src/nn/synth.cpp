@@ -1,0 +1,88 @@
+#include "nn/synth.hpp"
+
+#include <cmath>
+
+namespace pcnna::nn {
+
+void fill_gaussian(Tensor& t, Rng& rng, double mean, double stddev) {
+  for (double& v : t.data()) v = rng.normal(mean, stddev);
+}
+
+void fill_uniform(Tensor& t, Rng& rng, double lo, double hi) {
+  for (double& v : t.data()) v = rng.uniform(lo, hi);
+}
+
+void fill_sparse_gaussian(Tensor& t, Rng& rng, double stddev, double sparsity) {
+  PCNNA_CHECK(sparsity >= 0.0 && sparsity <= 1.0);
+  for (double& v : t.data())
+    v = rng.uniform() < sparsity ? 0.0 : rng.normal(0.0, stddev);
+}
+
+Tensor make_conv_weights(const ConvLayerParams& params, Rng& rng) {
+  params.validate();
+  Tensor w(Shape4{params.K, params.nc, params.m, params.m});
+  const double stddev = std::sqrt(2.0 / static_cast<double>(params.kernel_size()));
+  fill_gaussian(w, rng, 0.0, stddev);
+  return w;
+}
+
+Tensor make_conv_bias(const ConvLayerParams& params, Rng& rng) {
+  Tensor b(Shape4{1, params.K, 1, 1});
+  fill_uniform(b, rng, -0.05, 0.05);
+  return b;
+}
+
+Tensor make_input(const ConvLayerParams& params, Rng& rng) {
+  params.validate();
+  Tensor x(Shape4{1, params.nc, params.n, params.n});
+  fill_uniform(x, rng, 0.0, 1.0);
+  return x;
+}
+
+NetWeights make_network_weights(const Network& net, Rng& rng) {
+  NetWeights w;
+  w.weight.resize(net.ops().size());
+  w.bias.resize(net.ops().size());
+
+  Shape4 shape = net.input_shape();
+  for (std::size_t i = 0; i < net.ops().size(); ++i) {
+    const LayerOp& op = net.ops()[i];
+    switch (op.kind) {
+      case OpKind::kConv: {
+        w.weight[i] = make_conv_weights(op.conv, rng);
+        w.bias[i] = make_conv_bias(op.conv, rng);
+        const std::size_t side = op.conv.output_side();
+        shape = Shape4{1, op.conv.K, side, side};
+        break;
+      }
+      case OpKind::kMaxPool:
+      case OpKind::kAvgPool:
+        shape.h = (shape.h - op.pool.window) / op.pool.stride + 1;
+        shape.w = (shape.w - op.pool.window) / op.pool.stride + 1;
+        break;
+      case OpKind::kFullyConnected: {
+        const std::size_t in = shape.elements();
+        Tensor weight(Shape4{op.fc.out, in, 1, 1});
+        const double stddev = std::sqrt(2.0 / static_cast<double>(in));
+        fill_gaussian(weight, rng, 0.0, stddev);
+        w.weight[i] = std::move(weight);
+        Tensor bias(Shape4{1, op.fc.out, 1, 1});
+        fill_uniform(bias, rng, -0.05, 0.05);
+        w.bias[i] = std::move(bias);
+        shape = Shape4{1, op.fc.out, 1, 1};
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return w;
+}
+
+Tensor make_network_input(const Network& net, Rng& rng) {
+  Tensor x(net.input_shape());
+  fill_uniform(x, rng, 0.0, 1.0);
+  return x;
+}
+
+} // namespace pcnna::nn

@@ -1,0 +1,43 @@
+// Synthetic weight and input generation.
+//
+// The paper evaluates timing/area analytically, not accuracy, so there is no
+// pretrained-weight dependency; our functional simulation instead verifies
+// MAC fidelity against the golden CPU path using seeded synthetic data
+// (DESIGN.md substitution table).
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/conv_params.hpp"
+#include "nn/network.hpp"
+#include "nn/tensor.hpp"
+
+namespace pcnna::nn {
+
+/// Fill with N(mean, stddev) samples.
+void fill_gaussian(Tensor& t, Rng& rng, double mean, double stddev);
+
+/// Fill with U[lo, hi) samples.
+void fill_uniform(Tensor& t, Rng& rng, double lo, double hi);
+
+/// Fill with N(0, stddev) samples, then zero each element independently with
+/// probability `sparsity` (models pruned/sparse kernels).
+void fill_sparse_gaussian(Tensor& t, Rng& rng, double stddev, double sparsity);
+
+/// Random conv kernel bank [K, nc, m, m] with He-style scaling
+/// stddev = sqrt(2 / Nkernel) — keeps activations O(1) through deep stacks.
+Tensor make_conv_weights(const ConvLayerParams& params, Rng& rng);
+
+/// Random bias [1, K, 1, 1], small uniform values.
+Tensor make_conv_bias(const ConvLayerParams& params, Rng& rng);
+
+/// Random input feature map [1, nc, n, n] with values in [0, 1) — the
+/// post-ReLU, normalized regime the photonic input modulators expect.
+Tensor make_input(const ConvLayerParams& params, Rng& rng);
+
+/// Random weights/biases for every parameterized op of a network.
+NetWeights make_network_weights(const Network& net, Rng& rng);
+
+/// Random input for a network, values in [0, 1).
+Tensor make_network_input(const Network& net, Rng& rng);
+
+} // namespace pcnna::nn

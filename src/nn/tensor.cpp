@@ -1,0 +1,25 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcnna::nn {
+
+double Tensor::min() const {
+  PCNNA_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Tensor::max() const {
+  PCNNA_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Tensor::abs_max() const {
+  PCNNA_CHECK(!data_.empty());
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+} // namespace pcnna::nn

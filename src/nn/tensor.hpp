@@ -1,0 +1,95 @@
+// A minimal dense 4-D tensor (NCHW) for the golden CNN reference path and
+// for feeding the PCNNA functional simulator.
+//
+// The simulator's numerical checks compare optical MAC results against this
+// tensor math, so storage is `double` end to end.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pcnna::nn {
+
+/// Shape of a 4-D tensor in NCHW order. FC weights use {out, in, 1, 1};
+/// single feature maps use n == 1.
+struct Shape4 {
+  std::size_t n = 1; ///< batch
+  std::size_t c = 1; ///< channels
+  std::size_t h = 1; ///< height
+  std::size_t w = 1; ///< width
+
+  std::size_t elements() const { return n * c * h * w; }
+  bool operator==(const Shape4&) const = default;
+};
+
+/// Dense row-major NCHW tensor of doubles.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape4 shape)
+      : shape_(shape), data_(shape.elements(), 0.0) {
+    PCNNA_CHECK(shape.elements() > 0);
+  }
+
+  /// Tensor initialized from existing data (must match shape.elements()).
+  Tensor(Shape4 shape, std::vector<double> data)
+      : shape_(shape), data_(std::move(data)) {
+    PCNNA_CHECK_MSG(data_.size() == shape_.elements(),
+                    "data size " << data_.size() << " != shape elements "
+                                 << shape_.elements());
+  }
+
+  const Shape4& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Flat element access (row-major NCHW).
+  double& operator[](std::size_t i) {
+    PCNNA_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    PCNNA_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  /// 4-D element access.
+  double& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    return data_[index(n, c, h, w)];
+  }
+  double at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+    return data_[index(n, c, h, w)];
+  }
+
+  /// Flat index of (n, c, h, w); bounds-checked in debug builds.
+  std::size_t index(std::size_t n, std::size_t c, std::size_t h,
+                    std::size_t w) const {
+    PCNNA_DCHECK(n < shape_.n && c < shape_.c && h < shape_.h && w < shape_.w);
+    return ((n * shape_.c + c) * shape_.h + h) * shape_.w + w;
+  }
+
+  std::span<const double> data() const { return data_; }
+  std::span<double> data() { return data_; }
+
+  /// Fill every element with `v`.
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Min/max element values (tensor must be non-empty).
+  double min() const;
+  double max() const;
+  /// Largest absolute element value.
+  double abs_max() const;
+
+  bool operator==(const Tensor&) const = default;
+
+ private:
+  Shape4 shape_{};
+  std::vector<double> data_;
+};
+
+} // namespace pcnna::nn

@@ -1,0 +1,26 @@
+#include "photonics/laser.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+
+namespace pcnna::phot {
+
+LaserDiode::LaserDiode(LaserConfig config) : config_(config) {
+  PCNNA_CHECK(config.power > 0.0);
+  PCNNA_CHECK(config.rin_db_per_hz < 0.0);
+  PCNNA_CHECK(config.wall_plug_efficiency > 0.0 &&
+              config.wall_plug_efficiency <= 1.0);
+}
+
+double LaserDiode::emit(double bandwidth, Rng& rng) const {
+  PCNNA_CHECK(bandwidth >= 0.0);
+  if (bandwidth == 0.0) return config_.power;
+  const double rin_linear = from_db(config_.rin_db_per_hz);
+  const double sigma = config_.power * std::sqrt(rin_linear * bandwidth);
+  // Power cannot go negative even in a noisy draw.
+  return std::max(0.0, rng.normal(config_.power, sigma));
+}
+
+} // namespace pcnna::phot

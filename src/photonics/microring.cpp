@@ -1,0 +1,55 @@
+#include "photonics/microring.hpp"
+
+#include <cstdint>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+
+namespace pcnna::phot {
+
+MicroringResonator::MicroringResonator(MicroringConfig config, Rng& rng)
+    : config_(config), loss_factor_(from_db(-config.insertion_loss_db)) {
+  PCNNA_CHECK(config.design_wavelength > 0.0);
+  PCNNA_CHECK(config.q_factor > 1.0);
+  PCNNA_CHECK(config.max_drop > 0.0 && config.max_drop <= 1.0);
+  PCNNA_CHECK(config.insertion_loss_db >= 0.0);
+  PCNNA_CHECK(config.max_detuning > 0.0);
+  PCNNA_CHECK(config.tuning_bits >= 1 && config.tuning_bits <= 48);
+  PCNNA_CHECK(config.thermal_efficiency > 0.0);
+  PCNNA_CHECK(config.fab_sigma >= 0.0);
+  PCNNA_CHECK(config.footprint_side > 0.0);
+
+  const double offset =
+      config.fab_sigma > 0.0 ? rng.normal(0.0, config.fab_sigma) : 0.0;
+  natural_resonance_ = config.design_wavelength + offset;
+}
+
+double MicroringResonator::set_thermal_shift(double shift) {
+  if (stuck_) return applied_shift_;
+  // Heaters only shift the resonance one way (red); allow enough headroom to
+  // compensate worst-case fabrication offsets (the bank blue-biases designs
+  // by 4 sigma and the draw itself can add another 4 sigma) on top of the
+  // weight detuning.
+  const double max_shift = config_.max_detuning + 8.0 * config_.fab_sigma;
+  const double clamped = clamp(shift, 0.0, max_shift);
+  const double levels =
+      static_cast<double>((std::uint64_t{1} << config_.tuning_bits) - 1u);
+  const double step = max_shift / levels;
+  applied_shift_ = std::round(clamped / step) * step;
+  return applied_shift_;
+}
+
+double MicroringResonator::drop_fraction(double wavelength) const {
+  const double half_width = 0.5 * linewidth();
+  const double delta = wavelength - resonance();
+  const double lorentz =
+      (half_width * half_width) / (delta * delta + half_width * half_width);
+  return config_.max_drop * lorentz;
+}
+
+double MicroringResonator::through_fraction(double wavelength) const {
+  return loss_factor_ * (1.0 - drop_fraction(wavelength));
+}
+
+} // namespace pcnna::phot

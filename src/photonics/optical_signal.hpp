@@ -1,0 +1,60 @@
+// A bundle of per-channel optical powers traveling on one waveguide.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+
+namespace pcnna::phot {
+
+/// Per-wavelength optical power [W] on a single bus waveguide. Index i is
+/// WDM channel i of the grid the signal was produced on.
+class WdmSignal {
+ public:
+  WdmSignal() = default;
+  explicit WdmSignal(std::size_t channels) : power_(channels, 0.0) {}
+  explicit WdmSignal(std::vector<double> power) : power_(std::move(power)) {
+    for (double p : power_) PCNNA_CHECK_MSG(p >= 0.0, "negative optical power");
+  }
+
+  std::size_t channels() const { return power_.size(); }
+
+  double& operator[](std::size_t i) {
+    PCNNA_DCHECK(i < power_.size());
+    return power_[i];
+  }
+  double operator[](std::size_t i) const {
+    PCNNA_DCHECK(i < power_.size());
+    return power_[i];
+  }
+
+  std::span<const double> powers() const { return power_; }
+
+  /// Sum of all channel powers [W] — what an ideal broadband photodiode sees.
+  double total_power() const {
+    double acc = 0.0;
+    for (double p : power_) acc += p;
+    return acc;
+  }
+
+  /// Apply a flat (wavelength-independent) loss in dB to every channel.
+  void attenuate_db(double loss_db) {
+    PCNNA_CHECK(loss_db >= 0.0);
+    const double factor = from_db(-loss_db);
+    for (double& p : power_) p *= factor;
+  }
+
+  /// Scale every channel by a linear factor in [0, 1].
+  void scale(double factor) {
+    PCNNA_CHECK(factor >= 0.0);
+    for (double& p : power_) p *= factor;
+  }
+
+ private:
+  std::vector<double> power_;
+};
+
+} // namespace pcnna::phot

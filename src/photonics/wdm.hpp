@@ -1,0 +1,56 @@
+// Wavelength-division-multiplexing grid.
+//
+// In the broadcast-and-weight protocol every input value of a receptive
+// field rides on its own wavelength. The grid models a C-band comb with
+// uniform channel spacing; microrings address channels by their wavelength.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace pcnna::phot {
+
+/// Uniform WDM wavelength comb.
+class WdmGrid {
+ public:
+  /// `base_wavelength` is channel 0 (e.g. 1550 nm); `spacing` is the
+  /// channel pitch (e.g. 0.8 nm ~ 100 GHz at 1550 nm).
+  WdmGrid(std::size_t channels, double base_wavelength = 1550.0 * units::nm,
+          double spacing = 0.8 * units::nm)
+      : channels_(channels), base_(base_wavelength), spacing_(spacing) {
+    PCNNA_CHECK(channels > 0);
+    PCNNA_CHECK(base_wavelength > 0.0 && spacing > 0.0);
+  }
+
+  std::size_t channels() const { return channels_; }
+  double spacing() const { return spacing_; }
+
+  /// Wavelength of channel i [m].
+  double wavelength(std::size_t i) const {
+    PCNNA_DCHECK(i < channels_);
+    return base_ + static_cast<double>(i) * spacing_;
+  }
+
+  /// Optical frequency of channel i [Hz].
+  double frequency(std::size_t i) const { return units::c0 / wavelength(i); }
+
+  /// Total spectral width occupied by the comb [m].
+  double span() const { return static_cast<double>(channels_ - 1) * spacing_; }
+
+  /// All channel wavelengths in order.
+  std::vector<double> wavelengths() const {
+    std::vector<double> out(channels_);
+    for (std::size_t i = 0; i < channels_; ++i) out[i] = wavelength(i);
+    return out;
+  }
+
+ private:
+  std::size_t channels_;
+  double base_;
+  double spacing_;
+};
+
+} // namespace pcnna::phot

@@ -1,0 +1,117 @@
+// Microring weight bank — the photonic MAC unit.
+//
+// One bank implements the dot product between the broadcast WDM input bundle
+// and one kernel's weight vector (paper SS III / Fig. 1): every channel's
+// power is split between a drop bus and the surviving through bus by its
+// ring, and a balanced photodiode computes
+//   I = R * (P_drop_total - P_through_total)
+//     = R * sum_i P_i * w_i,      w_i in [-1, +1].
+//
+// Programming a weight means thermally detuning the ring so the Lorentzian
+// drop fraction hits d_i = (w_i + t) / (1 + t) (t = through-path loss
+// factor); calibrate() inverts the Lorentzian, applies the quantized heater
+// drive, and optionally iterates to cancel inter-channel crosstalk.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "photonics/microring.hpp"
+#include "photonics/optical_signal.hpp"
+#include "photonics/photodiode.hpp"
+#include "photonics/wdm.hpp"
+
+namespace pcnna::phot {
+
+struct WeightBankConfig {
+  MicroringConfig ring;           ///< per-ring template (resonance set per channel)
+  PhotodiodeConfig photodiode;
+  bool model_crosstalk = true;    ///< rings also act on neighboring channels
+  int calibration_iterations = 4; ///< fixed-point crosstalk-cancel passes
+};
+
+class WeightBank {
+ public:
+  /// Build one ring per grid channel. `rng` drives fabrication disorder.
+  WeightBank(const WdmGrid& grid, WeightBankConfig config, Rng& rng);
+
+  std::size_t channels() const { return rings_.size(); }
+  const WeightBankConfig& config() const { return config_; }
+  const MicroringResonator& ring(std::size_t i) const { return rings_.at(i); }
+
+  /// Largest weight the bank can represent (< 1 for max_drop < 1).
+  double max_weight() const;
+  /// Most negative weight the bank can represent (> -1 for finite detuning).
+  double min_weight() const;
+
+  /// Program the bank. `weights` must have one entry per channel, each in
+  /// [min_weight(), max_weight()] — out-of-range targets are clamped.
+  /// Returns the achieved effective weights (measured through the physical
+  /// model, including tuning quantization and residual crosstalk).
+  std::vector<double> calibrate(std::span<const double> weights);
+
+  /// Weight targets from the last calibrate() call (after clamping).
+  std::span<const double> target_weights() const { return targets_; }
+
+  /// Measured effective weight of channel `ch` (unit-power probe).
+  double effective_weight(std::size_t ch) const;
+
+  /// Measured effective weights of all channels.
+  std::vector<double> effective_weights() const;
+
+  /// Per-channel linear response: fraction of a channel's input power that
+  /// reaches the drop bus and the through bus (crosstalk included). The bank
+  /// is linear in the input powers, so
+  ///   P_drop  = sum_i in[i] * split[i].drop,
+  ///   P_thru  = sum_i in[i] * split[i].thru.
+  /// Callers on hot paths cache this after calibrate() instead of invoking
+  /// the O(channels^2) propagate() per sample.
+  struct ChannelSplit {
+    double drop = 0.0;
+    double thru = 0.0;
+  };
+  std::vector<ChannelSplit> channel_splits() const;
+
+  /// Split an input bundle into total drop-bus and through-bus power [W].
+  /// With crosstalk modeling the bundle passes the rings sequentially.
+  void propagate(const WdmSignal& in, double& drop_total,
+                 double& through_total) const;
+
+  /// Noiseless weighted power: sum_i P_i * w_eff_i [W-equivalent, signed].
+  double ideal_weighted_power(const WdmSignal& in) const;
+
+  /// Balanced-photodiode output for an input bundle: signed current [A],
+  /// noise integrated over `bandwidth` (0 -> deterministic).
+  double detect(const WdmSignal& in, double bandwidth, Rng& rng) const;
+
+  /// Failure injection: freeze ring `i`'s heater at its current drive (see
+  /// MicroringResonator::set_stuck). Subsequent calibrations cannot move it;
+  /// the fixed-point refinement will still adjust the *other* rings around
+  /// the fault.
+  void fail_ring(std::size_t i, bool stuck = true);
+
+  /// Number of rings currently stuck.
+  std::size_t stuck_rings() const;
+
+  /// Sum of heater powers across rings [W].
+  double total_heater_power() const;
+
+  /// Total ring footprint [m^2].
+  double total_area() const;
+
+ private:
+  /// Solve drop fraction -> detuning and apply it to ring `i`.
+  void apply_drop_target(std::size_t i, double drop_target);
+
+  WdmGrid grid_;
+  WeightBankConfig config_;
+  std::vector<MicroringResonator> rings_;
+  std::vector<double> targets_;
+  std::vector<double> drop_targets_;
+  BalancedPhotodiode pd_;
+  double through_loss_factor_; ///< per-ring through-path transmission
+};
+
+} // namespace pcnna::phot

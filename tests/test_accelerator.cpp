@@ -1,0 +1,143 @@
+// Full-system accelerator: network runs, fidelity metrics, reports.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/accelerator.hpp"
+#include "core/throughput.hpp"
+#include "nn/models.hpp"
+#include "nn/synth.hpp"
+
+namespace {
+
+using namespace pcnna;
+using core::Accelerator;
+using core::PcnnaConfig;
+using core::TimingFidelity;
+
+struct NetData {
+  nn::Network net;
+  nn::NetWeights weights;
+  nn::Tensor input;
+};
+
+NetData make_tiny(std::uint64_t seed = 11) {
+  Rng rng(seed);
+  NetData d{nn::tiny_cnn(), {}, {}};
+  d.weights = nn::make_network_weights(d.net, rng);
+  d.input = nn::make_network_input(d.net, rng);
+  return d;
+}
+
+TEST(Accelerator, IdealRunMatchesReferenceEndToEnd) {
+  Accelerator acc(PcnnaConfig::ideal());
+  const NetData d = make_tiny();
+  const auto report = acc.run(d.net, d.weights, d.input);
+  EXPECT_LT(report.output_max_abs_err, 1e-7);
+  EXPECT_TRUE(report.argmax_match);
+  ASSERT_EQ(2u, report.conv_layers.size());
+  for (const auto& layer : report.conv_layers) {
+    EXPECT_LT(layer.max_abs_err_vs_reference, 1e-7) << layer.layer_name;
+  }
+}
+
+TEST(Accelerator, PaperDefaultsKeepClassificationUsable) {
+  Accelerator acc(PcnnaConfig::paper_defaults());
+  const NetData d = make_tiny();
+  const auto report = acc.run(d.net, d.weights, d.input);
+  // Analog noise is bounded; the output distribution stays close.
+  EXPECT_LT(report.output_rmse, 0.15);
+  EXPECT_GT(report.output_rmse, 0.0);
+}
+
+TEST(Accelerator, TimingAndEnergyFilledPerConvLayer) {
+  Accelerator acc(PcnnaConfig::paper_defaults());
+  const NetData d = make_tiny();
+  const auto report = acc.run(d.net, d.weights, d.input);
+  for (const auto& layer : report.conv_layers) {
+    EXPECT_GT(layer.timing.optical_core_time, 0.0) << layer.layer_name;
+    EXPECT_GE(layer.timing.full_system_time, layer.timing.optical_core_time);
+    EXPECT_GT(layer.energy.total(), 0.0);
+    EXPECT_GT(layer.engine.locations, 0u);
+  }
+  EXPECT_GT(report.total_full_system_time, 0.0);
+  EXPECT_GT(report.total_energy, 0.0);
+}
+
+TEST(Accelerator, SimulateValuesFalseSkipsEngineButKeepsTiming) {
+  Accelerator acc(PcnnaConfig::paper_defaults());
+  const NetData d = make_tiny();
+  const auto report = acc.run(d.net, d.weights, d.input,
+                              /*simulate_values=*/false);
+  // Values equal the reference exactly; timing still modeled.
+  EXPECT_DOUBLE_EQ(0.0, report.output_max_abs_err);
+  EXPECT_TRUE(report.argmax_match);
+  for (const auto& layer : report.conv_layers) {
+    EXPECT_GT(layer.timing.full_system_time, 0.0);
+    EXPECT_EQ(0u, layer.engine.locations); // engine untouched
+  }
+}
+
+TEST(Accelerator, RunConvSingleLayerReport) {
+  Accelerator acc(PcnnaConfig::ideal());
+  Rng rng(13);
+  nn::ConvLayerParams params{"solo", 8, 3, 1, 1, 2, 4};
+  const auto input = nn::make_input(params, rng);
+  const auto weights = nn::make_conv_weights(params, rng);
+  const auto bias = nn::make_conv_bias(params, rng);
+  core::LayerRunReport report;
+  const auto out = acc.run_conv(input, weights, bias, 1, 1, &report);
+  EXPECT_EQ(64u, out.size() / 4);
+  EXPECT_LT(report.max_abs_err_vs_reference, 1e-7);
+  EXPECT_GT(report.timing.full_system_time, 0.0);
+  EXPECT_GT(report.energy.total(), 0.0);
+}
+
+TEST(Accelerator, FidelityChoiceChangesTotals) {
+  const NetData d = make_tiny();
+  Accelerator paper(PcnnaConfig::paper_defaults(), TimingFidelity::kPaper);
+  Accelerator full(PcnnaConfig::paper_defaults(), TimingFidelity::kFull);
+  const auto rp = paper.run(d.net, d.weights, d.input, false, false);
+  const auto rf = full.run(d.net, d.weights, d.input, false, false);
+  EXPECT_GT(rf.total_full_system_time, rp.total_full_system_time);
+}
+
+TEST(Accelerator, MismatchedInputThrows) {
+  Accelerator acc(PcnnaConfig::ideal());
+  const NetData d = make_tiny();
+  nn::Tensor bad(nn::Shape4{1, 2, 9, 9});
+  EXPECT_THROW(acc.run(d.net, d.weights, bad), Error);
+}
+
+TEST(Accelerator, BatchReportScalesLinearly) {
+  Accelerator acc(PcnnaConfig::paper_defaults());
+  const nn::Network net = nn::alexnet();
+  const auto one = acc.run_batch(net, 1);
+  const auto many = acc.run_batch(net, 64);
+  EXPECT_DOUBLE_EQ(one.time_per_image, many.time_per_image);
+  EXPECT_NEAR(64.0 * one.total_time, many.total_time, 1e-15);
+  EXPECT_DOUBLE_EQ(one.images_per_second, many.images_per_second);
+  EXPECT_THROW(acc.run_batch(net, 0), Error);
+}
+
+TEST(Accelerator, BatchMatchesSingleCorePipelineInterval) {
+  // Cross-check with ThroughputModel: one core's pipeline interval equals
+  // the sequential per-image conv time.
+  Accelerator acc(PcnnaConfig::paper_defaults());
+  const nn::Network net = nn::alexnet();
+  const auto batch = acc.run_batch(net, 1);
+  const core::ThroughputModel throughput(PcnnaConfig::paper_defaults());
+  const auto pipeline = throughput.pipeline(net.conv_layers(), 1);
+  EXPECT_NEAR(pipeline.interval, batch.time_per_image,
+              1e-12 * pipeline.interval);
+}
+
+TEST(Accelerator, ReferenceOutputPopulatedOnlyWhenComparing) {
+  Accelerator acc(PcnnaConfig::ideal());
+  const NetData d = make_tiny();
+  const auto with_ref = acc.run(d.net, d.weights, d.input, true, true);
+  EXPECT_FALSE(with_ref.reference_output.empty());
+  const auto without_ref = acc.run(d.net, d.weights, d.input, true, false);
+  EXPECT_TRUE(without_ref.reference_output.empty());
+}
+
+} // namespace

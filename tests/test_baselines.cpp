@@ -1,0 +1,100 @@
+// Electronic baseline models (Eyeriss, YodaNN, CPU).
+#include <gtest/gtest.h>
+
+#include "baselines/cpu.hpp"
+#include "baselines/eyeriss.hpp"
+#include "baselines/yodann.hpp"
+#include "common/units.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace pcnna;
+namespace u = units;
+
+nn::ConvLayerParams alexnet_layer(std::size_t i) {
+  return nn::alexnet_conv_layers().at(i);
+}
+
+TEST(Eyeriss, UtilizationWithinUnitInterval) {
+  const baselines::EyerissModel model;
+  for (const auto& layer : nn::alexnet_conv_layers()) {
+    const double util = model.utilization(layer);
+    EXPECT_GT(util, 0.0) << layer.name;
+    EXPECT_LE(util, 1.0) << layer.name;
+  }
+}
+
+TEST(Eyeriss, ThreeByThreeKernelsNearlyFillTheArray) {
+  // conv3: strips of 3 x min(13, 14) = 39 PEs replicate 4x = 156/168.
+  const baselines::EyerissModel model;
+  EXPECT_DOUBLE_EQ(156.0 / 168.0, model.utilization(alexnet_layer(2)));
+}
+
+TEST(Eyeriss, LayerTimeIsMacsOverThroughput) {
+  const baselines::EyerissModel model;
+  const auto conv3 = alexnet_layer(2);
+  const double throughput =
+      168.0 * model.utilization(conv3) * 0.85 * 200.0 * u::MHz;
+  EXPECT_NEAR(static_cast<double>(conv3.macs()) / throughput,
+              model.layer_time(conv3), 1e-12);
+}
+
+TEST(Eyeriss, AlexNetLayerTimesInMillisecondBand) {
+  // Eyeriss reports AlexNet conv layers in the ~1-20 ms range; the
+  // analytical model must land in that order of magnitude.
+  const baselines::EyerissModel model;
+  for (const auto& layer : nn::alexnet_conv_layers()) {
+    const double t = model.layer_time(layer);
+    EXPECT_GT(t, 0.5 * u::ms) << layer.name;
+    EXPECT_LT(t, 50.0 * u::ms) << layer.name;
+  }
+}
+
+TEST(Yodann, PeakThroughputAndTime) {
+  const baselines::YodannModel model;
+  EXPECT_NEAR(32.0 * 32.0 * 480.0 * u::MHz, model.peak_throughput(), 1.0);
+  const auto conv3 = alexnet_layer(2);
+  EXPECT_NEAR(static_cast<double>(conv3.macs()) /
+                  (model.peak_throughput() * 0.9),
+              model.layer_time(conv3), 1e-12);
+}
+
+TEST(Yodann, FasterThanEyerissButElectronic) {
+  const baselines::EyerissModel eyeriss;
+  const baselines::YodannModel yodann;
+  for (const auto& layer : nn::alexnet_conv_layers()) {
+    EXPECT_LT(yodann.layer_time(layer), eyeriss.layer_time(layer))
+        << layer.name;
+  }
+}
+
+TEST(Cpu, MeasuresSmallLayerDirectly) {
+  baselines::CpuDirectBaseline cpu;
+  nn::ConvLayerParams small{"s", 16, 3, 1, 1, 4, 8};
+  bool extrapolated = true;
+  const auto m = cpu.measure(small, &extrapolated);
+  EXPECT_FALSE(extrapolated);
+  EXPECT_GT(m.seconds, 0.0);
+  EXPECT_GT(m.macs_per_s, 1e6); // any modern CPU exceeds 1 MMAC/s
+}
+
+TEST(Cpu, ExtrapolatesHugeLayers) {
+  baselines::CpuDirectBaseline cpu;
+  cpu.max_direct_macs = 1'000'000; // force cropping
+  bool extrapolated = false;
+  const auto m = cpu.measure(alexnet_layer(1), &extrapolated);
+  EXPECT_TRUE(extrapolated);
+  EXPECT_GT(m.seconds, 0.0);
+}
+
+TEST(Baselines, RejectBadConfigs) {
+  baselines::EyerissConfig e;
+  e.efficiency = 0.0;
+  EXPECT_THROW(baselines::EyerissModel{e}, Error);
+  baselines::YodannConfig y;
+  y.clock = 0.0;
+  EXPECT_THROW(baselines::YodannModel{y}, Error);
+}
+
+} // namespace

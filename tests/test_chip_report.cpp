@@ -1,0 +1,78 @@
+// Whole-chip area/power budget.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "core/chip_report.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace pcnna;
+namespace u = units;
+using core::ChipBudget;
+using core::ChipReportModel;
+using core::PcnnaConfig;
+
+TEST(ChipReport, TotalsAreComponentSums) {
+  const ChipReportModel model(PcnnaConfig::paper_defaults());
+  const ChipBudget b = model.layer_budget(nn::alexnet_conv_layers()[2]);
+  EXPECT_NEAR(b.ring_area + b.dac_area + b.adc_area + b.sram_area,
+              b.total_area(), 1e-18);
+  EXPECT_NEAR(b.laser_power + b.heater_power + b.dac_power + b.adc_power +
+                  b.sram_power,
+              b.total_power(), 1e-15);
+}
+
+TEST(ChipReport, DacAreaMatchesPaperComponents) {
+  // 10 input DACs + 1 weight DAC at 0.52 mm^2 each [16].
+  const ChipReportModel model(PcnnaConfig::paper_defaults());
+  const ChipBudget b = model.layer_budget(nn::alexnet_conv_layers()[0]);
+  EXPECT_NEAR(11.0 * 0.52 * u::mm2, b.dac_area, 1e-12);
+  EXPECT_NEAR(0.443 * u::mm2, b.sram_area, 1e-12); // [15]
+}
+
+TEST(ChipReport, NetworkBudgetSizedByLargestLayer) {
+  const ChipReportModel model(PcnnaConfig::paper_defaults());
+  const auto layers = nn::alexnet_conv_layers();
+  const ChipBudget net = model.network_budget(layers);
+  // conv4 has the most rings under Eq. 5.
+  EXPECT_EQ(1'327'104u, net.rings);
+  for (const auto& layer : layers) {
+    EXPECT_GE(net.rings, model.layer_budget(layer).rings) << layer.name;
+  }
+}
+
+TEST(ChipReport, PerChannelAllocationShrinksRingArea) {
+  PcnnaConfig pc = PcnnaConfig::paper_defaults();
+  pc.allocation = core::RingAllocation::kPerChannel;
+  const auto layers = nn::alexnet_conv_layers();
+  const ChipBudget full =
+      ChipReportModel(PcnnaConfig::paper_defaults()).network_budget(layers);
+  const ChipBudget per_channel = ChipReportModel(pc).network_budget(layers);
+  EXPECT_LT(per_channel.ring_area, full.ring_area);
+  EXPECT_EQ(11'616u, per_channel.rings); // conv1 K*m*m dominates
+}
+
+TEST(ChipReport, PaperConv4PerChannelAreaIsTwoPointTwo) {
+  PcnnaConfig pc = PcnnaConfig::paper_defaults();
+  pc.allocation = core::RingAllocation::kPerChannel;
+  const ChipReportModel model(pc);
+  const ChipBudget b = model.layer_budget(nn::alexnet_conv_layers()[3]);
+  EXPECT_EQ(3456u, b.rings);
+  EXPECT_NEAR(2.16 * u::mm2, b.ring_area, 0.01 * u::mm2);
+}
+
+TEST(ChipReport, LaserPowerScalesWithWavelengths) {
+  const ChipReportModel model(PcnnaConfig::paper_defaults());
+  const ChipBudget b = model.layer_budget(nn::alexnet_conv_layers()[2]);
+  // 96 WDM channels at 10 mW / 20% wall plug = 50 mW each.
+  EXPECT_EQ(96u, b.wavelengths);
+  EXPECT_NEAR(96.0 * 50.0 * u::mW, b.laser_power, 1e-9);
+}
+
+TEST(ChipReport, EmptyNetworkThrows) {
+  const ChipReportModel model(PcnnaConfig::paper_defaults());
+  EXPECT_THROW(model.network_budget({}), Error);
+}
+
+} // namespace

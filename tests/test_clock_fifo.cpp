@@ -1,0 +1,86 @@
+// Clock domains and FIFO buffers.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "electronics/clock.hpp"
+#include "electronics/fifo.hpp"
+
+namespace {
+
+using namespace pcnna;
+namespace u = units;
+
+TEST(Clock, PeriodAndCycles) {
+  elec::ClockDomain fast("optical", 5.0 * u::GHz);
+  EXPECT_DOUBLE_EQ(200.0 * u::ps, fast.period());
+  EXPECT_DOUBLE_EQ(200.0 * u::ns, fast.time_for(1000));
+  EXPECT_EQ(1000u, fast.cycles_for(200.0 * u::ns));
+}
+
+TEST(Clock, CyclesRoundUp) {
+  elec::ClockDomain clk("c", 1.0 * u::GHz);
+  EXPECT_EQ(2u, clk.cycles_for(1.5 * u::ns));
+  EXPECT_EQ(1u, clk.cycles_for(1.0 * u::ns));
+  EXPECT_EQ(0u, clk.cycles_for(0.0));
+}
+
+TEST(Clock, PaperTwoDomainArrangement) {
+  elec::ClockPair pair;
+  EXPECT_DOUBLE_EQ(5.0 * u::GHz, pair.fast.frequency());
+  EXPECT_GT(pair.fast.frequency(), pair.main.frequency());
+}
+
+TEST(Clock, RejectsZeroFrequency) {
+  EXPECT_THROW(elec::ClockDomain("x", 0.0), Error);
+}
+
+TEST(Fifo, PushPopOccupancy) {
+  elec::FifoBuffer fifo("input", 100);
+  EXPECT_TRUE(fifo.empty());
+  fifo.push(60);
+  EXPECT_EQ(60u, fifo.size());
+  EXPECT_EQ(40u, fifo.free_space());
+  fifo.pop(20);
+  EXPECT_EQ(40u, fifo.size());
+  EXPECT_FALSE(fifo.full());
+}
+
+TEST(Fifo, OverflowAndUnderflowThrow) {
+  elec::FifoBuffer fifo("x", 10);
+  fifo.push(10);
+  EXPECT_TRUE(fifo.full());
+  EXPECT_THROW(fifo.push(1), Error);
+  fifo.pop(10);
+  EXPECT_THROW(fifo.pop(1), Error);
+}
+
+TEST(Fifo, HighWaterMarkPersists) {
+  elec::FifoBuffer fifo("x", 100);
+  fifo.push(70);
+  fifo.pop(70);
+  fifo.push(10);
+  EXPECT_EQ(70u, fifo.high_water_mark());
+}
+
+TEST(Fifo, ThroughputAccounting) {
+  elec::FifoBuffer fifo("x", 100);
+  fifo.push(30);
+  fifo.pop(30);
+  fifo.push(50);
+  EXPECT_EQ(80u, fifo.total_pushed());
+}
+
+TEST(Fifo, ClearEmptiesButKeepsStats) {
+  elec::FifoBuffer fifo("x", 10);
+  fifo.push(8);
+  fifo.clear();
+  EXPECT_TRUE(fifo.empty());
+  EXPECT_EQ(8u, fifo.high_water_mark());
+}
+
+TEST(Fifo, ZeroCapacityRejected) {
+  EXPECT_THROW(elec::FifoBuffer("x", 0), Error);
+}
+
+} // namespace

@@ -1,0 +1,216 @@
+// Golden CNN operators: hand-computed fixtures and cross-implementation
+// agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/conv_ref.hpp"
+#include "nn/synth.hpp"
+
+namespace {
+
+using namespace pcnna;
+using nn::Shape4;
+using nn::Tensor;
+
+Tensor identity_kernel_3x3() {
+  // Single 3x3 kernel that picks the center pixel.
+  Tensor w(Shape4{1, 1, 3, 3});
+  w.at(0, 0, 1, 1) = 1.0;
+  return w;
+}
+
+TEST(ConvRef, IdentityKernelReproducesInput) {
+  Tensor x(Shape4{1, 1, 4, 4});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  const Tensor y = nn::conv2d_direct(x, identity_kernel_3x3(), {}, 1, 1);
+  ASSERT_EQ(x.shape(), y.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(x[i], y[i]);
+}
+
+TEST(ConvRef, HandComputed2x2SumKernel) {
+  // 3x3 input, 2x2 all-ones kernel, stride 1, no pad: each output is the sum
+  // of its 2x2 window.
+  Tensor x(Shape4{1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w(Shape4{1, 1, 2, 2});
+  w.fill(1.0);
+  const Tensor y = nn::conv2d_direct(x, w, {}, 1, 0);
+  ASSERT_EQ((Shape4{1, 1, 2, 2}), y.shape());
+  EXPECT_DOUBLE_EQ(12.0, y.at(0, 0, 0, 0)); // 1+2+4+5
+  EXPECT_DOUBLE_EQ(16.0, y.at(0, 0, 0, 1)); // 2+3+5+6
+  EXPECT_DOUBLE_EQ(24.0, y.at(0, 0, 1, 0)); // 4+5+7+8
+  EXPECT_DOUBLE_EQ(28.0, y.at(0, 0, 1, 1)); // 5+6+8+9
+}
+
+TEST(ConvRef, MultiChannelAccumulatesAcrossChannels) {
+  Tensor x(Shape4{1, 2, 2, 2}, {1, 1, 1, 1, 2, 2, 2, 2});
+  Tensor w(Shape4{1, 2, 1, 1}, {10.0, 100.0});
+  const Tensor y = nn::conv2d_direct(x, w, {}, 1, 0);
+  // 1*10 + 2*100 = 210 everywhere.
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_DOUBLE_EQ(210.0, y[i]);
+}
+
+TEST(ConvRef, BiasIsAddedPerKernel) {
+  Tensor x(Shape4{1, 1, 2, 2});
+  x.fill(1.0);
+  Tensor w(Shape4{2, 1, 1, 1}, {1.0, 2.0});
+  Tensor b(Shape4{1, 2, 1, 1}, {0.5, -0.5});
+  const Tensor y = nn::conv2d_direct(x, w, b, 1, 0);
+  EXPECT_DOUBLE_EQ(1.5, y.at(0, 0, 0, 0));
+  EXPECT_DOUBLE_EQ(1.5, y.at(0, 1, 0, 0));
+}
+
+TEST(ConvRef, StrideSkipsLocations) {
+  Tensor x(Shape4{1, 1, 5, 5});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  const Tensor y = nn::conv2d_direct(x, identity_kernel_3x3(), {}, 2, 0);
+  ASSERT_EQ((Shape4{1, 1, 2, 2}), y.shape());
+  EXPECT_DOUBLE_EQ(x.at(0, 0, 1, 1), y.at(0, 0, 0, 0));
+  EXPECT_DOUBLE_EQ(x.at(0, 0, 1, 3), y.at(0, 0, 0, 1));
+  EXPECT_DOUBLE_EQ(x.at(0, 0, 3, 3), y.at(0, 0, 1, 1));
+}
+
+TEST(ConvRef, PaddingReadsZeros) {
+  Tensor x(Shape4{1, 1, 2, 2});
+  x.fill(1.0);
+  Tensor w(Shape4{1, 1, 3, 3});
+  w.fill(1.0);
+  const Tensor y = nn::conv2d_direct(x, w, {}, 1, 1);
+  ASSERT_EQ((Shape4{1, 1, 2, 2}), y.shape());
+  // Each output sees all four ones (corners of the padded window).
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_DOUBLE_EQ(4.0, y[i]);
+}
+
+TEST(ConvRef, DirectAndIm2colAgreeOnRandomLayers) {
+  Rng rng(5);
+  const nn::ConvLayerParams cases[] = {
+      {"a", 8, 3, 1, 1, 2, 4},
+      {"b", 9, 5, 2, 2, 3, 2},
+      {"c", 12, 1, 0, 1, 4, 8},
+      {"d", 7, 7, 3, 3, 1, 1},
+  };
+  for (const auto& layer : cases) {
+    const Tensor x = nn::make_input(layer, rng);
+    const Tensor w = nn::make_conv_weights(layer, rng);
+    const Tensor b = nn::make_conv_bias(layer, rng);
+    const Tensor direct = nn::conv2d_direct(x, w, b, layer.s, layer.p);
+    const Tensor gemm = nn::conv2d_im2col(x, w, b, layer.s, layer.p);
+    EXPECT_LT(nn::max_abs_diff(direct, gemm), 1e-12) << layer.name;
+  }
+}
+
+TEST(ConvRef, Im2colMatrixShape) {
+  Tensor x(Shape4{1, 2, 4, 4});
+  const Tensor cols = nn::im2col(x, 3, 1, 0);
+  EXPECT_EQ((Shape4{1, 1, 2 * 3 * 3, 2 * 2}), cols.shape());
+}
+
+TEST(ConvRef, ReceptiveFieldMatchesIm2colColumn) {
+  Rng rng(9);
+  nn::ConvLayerParams layer{"rf", 6, 3, 1, 2, 2, 1};
+  const Tensor x = nn::make_input(layer, rng);
+  const Tensor cols = nn::im2col(x, layer.m, layer.s, layer.p);
+  const std::size_t side = layer.output_side();
+  for (std::size_t oy = 0; oy < side; ++oy) {
+    for (std::size_t ox = 0; ox < side; ++ox) {
+      const auto field = nn::receptive_field(x, layer.m, layer.s, layer.p, oy, ox);
+      ASSERT_EQ(layer.kernel_size(), field.size());
+      for (std::size_t r = 0; r < field.size(); ++r) {
+        EXPECT_DOUBLE_EQ(cols.at(0, 0, r, oy * side + ox), field[r]);
+      }
+    }
+  }
+}
+
+TEST(ConvRef, ReluClampsNegatives) {
+  Tensor x(Shape4{1, 1, 1, 4}, {-1.0, 0.0, 2.0, -3.5});
+  const Tensor y = nn::relu(x);
+  EXPECT_DOUBLE_EQ(0.0, y[0]);
+  EXPECT_DOUBLE_EQ(0.0, y[1]);
+  EXPECT_DOUBLE_EQ(2.0, y[2]);
+  EXPECT_DOUBLE_EQ(0.0, y[3]);
+}
+
+TEST(ConvRef, MaxPoolPicksWindowMax) {
+  Tensor x(Shape4{1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<double>(i);
+  const Tensor y = nn::maxpool2d(x, 2, 2);
+  ASSERT_EQ((Shape4{1, 1, 2, 2}), y.shape());
+  EXPECT_DOUBLE_EQ(5.0, y.at(0, 0, 0, 0));
+  EXPECT_DOUBLE_EQ(7.0, y.at(0, 0, 0, 1));
+  EXPECT_DOUBLE_EQ(13.0, y.at(0, 0, 1, 0));
+  EXPECT_DOUBLE_EQ(15.0, y.at(0, 0, 1, 1));
+}
+
+TEST(ConvRef, OverlappingMaxPoolAlexNetStyle) {
+  // AlexNet pools 3x3 windows with stride 2: 55 -> 27.
+  Tensor x(Shape4{1, 1, 55, 55});
+  const Tensor y = nn::maxpool2d(x, 3, 2);
+  EXPECT_EQ(27u, y.shape().h);
+}
+
+TEST(ConvRef, AvgPoolAverages) {
+  Tensor x(Shape4{1, 1, 2, 2}, {1.0, 2.0, 3.0, 4.0});
+  const Tensor y = nn::avgpool2d(x, 2, 2);
+  EXPECT_DOUBLE_EQ(2.5, y.at(0, 0, 0, 0));
+}
+
+TEST(ConvRef, LrnNormalizesByNeighborEnergy) {
+  Tensor x(Shape4{1, 3, 1, 1}, {1.0, 1.0, 1.0});
+  const Tensor y = nn::lrn(x, 3, 1.0, 1.0, 0.0);
+  // denom per channel: (0 + (1/3) * sum a^2)^1: edge channels see 2 ones,
+  // middle sees 3.
+  EXPECT_NEAR(1.0 / (2.0 / 3.0), y.at(0, 0, 0, 0), 1e-12);
+  EXPECT_NEAR(1.0 / (3.0 / 3.0), y.at(0, 1, 0, 0), 1e-12);
+  EXPECT_NEAR(1.0 / (2.0 / 3.0), y.at(0, 2, 0, 0), 1e-12);
+}
+
+TEST(ConvRef, LrnDefaultsLeaveValuesRoughlyIntact) {
+  // With AlexNet constants (k=2) small activations barely change.
+  Tensor x(Shape4{1, 4, 1, 1}, {0.1, 0.2, 0.3, 0.4});
+  const Tensor y = nn::lrn(x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(y[i], 0.0);
+    EXPECT_LT(y[i], x[i]); // divides by > 1
+    EXPECT_NEAR(x[i] / std::pow(2.0, 0.75), y[i], 0.05);
+  }
+}
+
+TEST(ConvRef, FullyConnectedMatVec) {
+  Tensor x(Shape4{1, 3, 1, 1}, {1.0, 2.0, 3.0});
+  Tensor w(Shape4{2, 3, 1, 1}, {1, 0, 0, 0, 0, 1});
+  Tensor b(Shape4{1, 2, 1, 1}, {10.0, 20.0});
+  const Tensor y = nn::fully_connected(x, w, b);
+  EXPECT_DOUBLE_EQ(11.0, y[0]);
+  EXPECT_DOUBLE_EQ(23.0, y[1]);
+}
+
+TEST(ConvRef, SoftmaxSumsToOneAndOrders) {
+  Tensor x(Shape4{1, 3, 1, 1}, {1.0, 2.0, 3.0});
+  const Tensor y = nn::softmax(x);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) sum += y[i];
+  EXPECT_NEAR(1.0, sum, 1e-12);
+  EXPECT_LT(y[0], y[1]);
+  EXPECT_LT(y[1], y[2]);
+}
+
+TEST(ConvRef, SoftmaxIsShiftInvariantAndStable) {
+  Tensor a(Shape4{1, 2, 1, 1}, {1000.0, 1001.0});
+  const Tensor y = nn::softmax(a);
+  EXPECT_FALSE(std::isnan(y[0]));
+  EXPECT_NEAR(1.0, y[0] + y[1], 1e-12);
+}
+
+TEST(ConvRef, ShapeMismatchesThrow) {
+  Tensor x(Shape4{1, 2, 4, 4});
+  Tensor w_bad_c(Shape4{1, 3, 3, 3});
+  EXPECT_THROW(nn::conv2d_direct(x, w_bad_c, {}, 1, 0), pcnna::Error);
+  Tensor w(Shape4{1, 2, 3, 3});
+  Tensor b_bad(Shape4{1, 2, 1, 1});
+  EXPECT_THROW(nn::conv2d_direct(x, w, b_bad, 1, 0), pcnna::Error);
+  EXPECT_THROW(nn::max_abs_diff(x, Tensor(Shape4{1, 1, 4, 4})), pcnna::Error);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+// Data converters: quantization, rate, energy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "electronics/adc.hpp"
+#include "electronics/dac.hpp"
+
+namespace {
+
+using namespace pcnna;
+namespace u = units;
+
+TEST(Dac, LevelsFromBits) {
+  elec::DacConfig cfg;
+  cfg.bits = 8;
+  elec::Dac dac(cfg);
+  EXPECT_EQ(256u, dac.levels());
+}
+
+TEST(Dac, QuantizesToGrid) {
+  elec::DacConfig cfg;
+  cfg.bits = 2; // levels at 0, 1/3, 2/3, 1
+  elec::Dac dac(cfg);
+  EXPECT_DOUBLE_EQ(0.0, dac.convert(0.0));
+  EXPECT_DOUBLE_EQ(1.0, dac.convert(1.0));
+  EXPECT_NEAR(1.0 / 3.0, dac.convert(0.3), 1e-12);
+  EXPECT_NEAR(2.0 / 3.0, dac.convert(0.6), 1e-12);
+}
+
+TEST(Dac, ClipsOutOfRange) {
+  elec::Dac dac{elec::DacConfig{}};
+  EXPECT_DOUBLE_EQ(0.0, dac.convert(-0.5));
+  EXPECT_DOUBLE_EQ(1.0, dac.convert(1.5));
+}
+
+TEST(Dac, QuantizationErrorBoundedByHalfLsb) {
+  elec::DacConfig cfg;
+  cfg.bits = 6;
+  elec::Dac dac(cfg);
+  for (int i = 0; i <= 1000; ++i) {
+    const double x = i / 1000.0;
+    EXPECT_LE(std::abs(dac.convert(x) - x), dac.lsb() / 2.0 + 1e-15);
+  }
+}
+
+TEST(Dac, SixteenBitIsTransparentAtDoublePrecisionTolerances) {
+  elec::Dac dac{elec::DacConfig{}}; // paper's 16 b DAC
+  EXPECT_LT(dac.lsb(), 2e-5);
+}
+
+TEST(Dac, ConversionTimeAtPaperRate) {
+  elec::Dac dac{elec::DacConfig{}}; // 6 GSa/s
+  // Eq. (8) worked example: ~116 conversions take ~19.3 ns.
+  EXPECT_NEAR(116.0 / (6.0 * u::GSa), dac.conversion_time(116), 1e-12);
+}
+
+TEST(Dac, ConversionEnergy) {
+  elec::DacConfig cfg;
+  cfg.power = 300.0 * u::mW;
+  cfg.sample_rate = 6.0 * u::GSa;
+  elec::Dac dac(cfg);
+  EXPECT_NEAR(0.3 * 1000.0 / 6e9, dac.conversion_energy(1000), 1e-15);
+}
+
+TEST(Dac, FullScaleScalesOutput) {
+  elec::DacConfig cfg;
+  cfg.full_scale = 2.5;
+  elec::Dac dac(cfg);
+  EXPECT_NEAR(2.5, dac.convert(1.0), 1e-12);
+  EXPECT_NEAR(1.25, dac.convert(0.5), 1e-4);
+}
+
+TEST(Adc, SignedQuantization) {
+  elec::AdcConfig cfg;
+  cfg.bits = 8;
+  elec::Adc adc(cfg);
+  EXPECT_NEAR(0.0, adc.convert(0.0), adc.lsb());
+  EXPECT_NEAR(0.5, adc.convert(0.5), adc.lsb());
+  EXPECT_NEAR(-0.5, adc.convert(-0.5), adc.lsb());
+  EXPECT_DOUBLE_EQ(1.0, adc.convert(1.0));
+  EXPECT_DOUBLE_EQ(-1.0, adc.convert(-1.0));
+}
+
+TEST(Adc, ClipsBeyondFullScale) {
+  elec::Adc adc{elec::AdcConfig{}};
+  EXPECT_DOUBLE_EQ(1.0, adc.convert(3.0));
+  EXPECT_DOUBLE_EQ(-1.0, adc.convert(-3.0));
+}
+
+TEST(Adc, ErrorBoundedByHalfLsb) {
+  elec::AdcConfig cfg;
+  cfg.bits = 8;
+  elec::Adc adc(cfg);
+  for (int i = -100; i <= 100; ++i) {
+    const double x = i / 100.0;
+    EXPECT_LE(std::abs(adc.convert(x) - x), adc.lsb() / 2.0 + 1e-15);
+  }
+}
+
+TEST(Adc, PaperRateTiming) {
+  elec::Adc adc{elec::AdcConfig{}}; // 2.8 GSa/s [17]
+  // Digitizing 384 kernel outputs (conv4) takes ~137 ns on one ADC.
+  EXPECT_NEAR(384.0 / 2.8e9, adc.conversion_time(384), 1e-12);
+}
+
+TEST(Adc, PaperPowerSpec) {
+  elec::Adc adc{elec::AdcConfig{}};
+  EXPECT_NEAR(44.6 * u::mW, adc.config().power, 1e-6);
+}
+
+TEST(Converters, RejectBadConfigs) {
+  elec::DacConfig d;
+  d.bits = 0;
+  EXPECT_THROW(elec::Dac{d}, Error);
+  d = {};
+  d.sample_rate = 0.0;
+  EXPECT_THROW(elec::Dac{d}, Error);
+  elec::AdcConfig a;
+  a.bits = 30;
+  EXPECT_THROW(elec::Adc{a}, Error);
+  a = {};
+  a.full_scale = 0.0;
+  EXPECT_THROW(elec::Adc{a}, Error);
+}
+
+} // namespace

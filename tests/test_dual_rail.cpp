@@ -1,0 +1,105 @@
+// Dual-rail encoding of signed inputs.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/optical_conv_engine.hpp"
+#include "nn/conv_ref.hpp"
+#include "nn/synth.hpp"
+
+namespace {
+
+using namespace pcnna;
+using core::EngineStats;
+using core::OpticalConvEngine;
+using core::PcnnaConfig;
+using nn::Shape4;
+using nn::Tensor;
+
+struct SignedLayer {
+  Tensor input, weights, bias;
+};
+
+SignedLayer make_signed(std::uint64_t seed = 71) {
+  Rng rng(seed);
+  SignedLayer d;
+  d.input = Tensor(Shape4{1, 2, 8, 8});
+  nn::fill_gaussian(d.input, rng, 0.0, 0.5); // genuinely signed inputs
+  nn::ConvLayerParams layer{"t", 8, 3, 1, 1, 2, 4};
+  d.weights = nn::make_conv_weights(layer, rng);
+  d.bias = nn::make_conv_bias(layer, rng);
+  return d;
+}
+
+TEST(DualRail, DisabledRejectsSignedInputs) {
+  OpticalConvEngine engine(PcnnaConfig::ideal());
+  const SignedLayer d = make_signed();
+  EXPECT_THROW(engine.conv2d(d.input, d.weights, d.bias, 1, 1), Error);
+}
+
+TEST(DualRail, IdealMatchesGoldenOnSignedInputs) {
+  PcnnaConfig cfg = PcnnaConfig::ideal();
+  cfg.dual_rail_inputs = true;
+  OpticalConvEngine engine(cfg);
+  const SignedLayer d = make_signed();
+  const Tensor out = engine.conv2d(d.input, d.weights, d.bias, 1, 1);
+  const Tensor ref = nn::conv2d_direct(d.input, d.weights, d.bias, 1, 1);
+  EXPECT_LT(nn::max_abs_diff(out, ref), 1e-6);
+}
+
+TEST(DualRail, DoublesTheOpticalWork) {
+  PcnnaConfig cfg = PcnnaConfig::ideal();
+  cfg.dual_rail_inputs = true;
+  OpticalConvEngine engine(cfg);
+  const SignedLayer d = make_signed();
+  EngineStats dual;
+  engine.conv2d(d.input, d.weights, d.bias, 1, 1, &dual);
+
+  // Same shape with non-negative inputs runs single-rail.
+  Rng rng(72);
+  nn::ConvLayerParams layer{"t", 8, 3, 1, 1, 2, 4};
+  const Tensor pos_input = nn::make_input(layer, rng);
+  EngineStats single;
+  engine.conv2d(pos_input, d.weights, d.bias, 1, 1, &single);
+
+  EXPECT_EQ(2 * single.optical_passes, dual.optical_passes);
+  EXPECT_EQ(2 * single.adc_conversions, dual.adc_conversions);
+}
+
+TEST(DualRail, NonNegativeInputsStaySingleRailEvenWhenEnabled) {
+  PcnnaConfig cfg = PcnnaConfig::ideal();
+  cfg.dual_rail_inputs = true;
+  OpticalConvEngine engine(cfg);
+  Rng rng(73);
+  nn::ConvLayerParams layer{"t", 8, 3, 1, 1, 2, 4};
+  const Tensor input = nn::make_input(layer, rng);
+  const Tensor weights = nn::make_conv_weights(layer, rng);
+  EngineStats stats;
+  engine.conv2d(input, weights, {}, 1, 1, &stats);
+  // One pass per location (Nkernel = 18 fits one 96-channel group).
+  EXPECT_EQ(64u, stats.optical_passes);
+}
+
+TEST(DualRail, NoisyErrorStaysBounded) {
+  PcnnaConfig cfg = PcnnaConfig::paper_defaults();
+  cfg.dual_rail_inputs = true;
+  OpticalConvEngine engine(cfg);
+  const SignedLayer d = make_signed();
+  const Tensor out = engine.conv2d(d.input, d.weights, d.bias, 1, 1);
+  const Tensor ref = nn::conv2d_direct(d.input, d.weights, d.bias, 1, 1);
+  // Two rails add noise in quadrature; still within the analog budget.
+  EXPECT_LT(nn::max_abs_diff(out, ref), 0.25 * ref.abs_max());
+}
+
+TEST(DualRail, BiasAppliedExactlyOnce) {
+  PcnnaConfig cfg = PcnnaConfig::ideal();
+  cfg.dual_rail_inputs = true;
+  OpticalConvEngine engine(cfg);
+  SignedLayer d = make_signed();
+  d.weights.fill(0.0); // output must be exactly the bias
+  const Tensor out = engine.conv2d(d.input, d.weights, d.bias, 1, 1);
+  for (std::size_t k = 0; k < 4; ++k)
+    for (std::size_t i = 0; i < 64; ++i)
+      EXPECT_DOUBLE_EQ(d.bias.at(0, k, 0, 0), out[k * 64 + i]);
+}
+
+} // namespace

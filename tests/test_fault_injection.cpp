@@ -1,0 +1,182 @@
+// Failure injection: stuck ring heaters and their system-level effect.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "photonics/weight_bank.hpp"
+
+namespace {
+
+using namespace pcnna;
+
+phot::WeightBank make_bank(std::size_t channels, std::uint64_t seed = 3) {
+  static Rng rng(0);
+  rng.reseed(seed);
+  return phot::WeightBank(phot::WdmGrid(channels), phot::WeightBankConfig{},
+                          rng);
+}
+
+TEST(FaultInjection, StuckRingIgnoresRetuning) {
+  Rng rng(1);
+  phot::MicroringConfig cfg;
+  phot::MicroringResonator ring(cfg, rng);
+  ring.set_thermal_shift(0.1e-9);
+  const double before = ring.thermal_shift();
+  ring.set_stuck(true);
+  EXPECT_DOUBLE_EQ(before, ring.set_thermal_shift(0.3e-9));
+  EXPECT_DOUBLE_EQ(before, ring.thermal_shift());
+  ring.set_stuck(false);
+  EXPECT_NE(before, ring.set_thermal_shift(0.3e-9));
+}
+
+TEST(FaultInjection, BankTracksStuckCount) {
+  auto bank = make_bank(6);
+  EXPECT_EQ(0u, bank.stuck_rings());
+  bank.fail_ring(1);
+  bank.fail_ring(4);
+  EXPECT_EQ(2u, bank.stuck_rings());
+  bank.fail_ring(1, false);
+  EXPECT_EQ(1u, bank.stuck_rings());
+  EXPECT_THROW(bank.fail_ring(99), Error);
+}
+
+TEST(FaultInjection, StuckRingBreaksItsOwnWeightOnly) {
+  auto bank = make_bank(6);
+  // Program once, then freeze ring 2 and retarget everything.
+  bank.calibrate(std::vector<double>{0.0, 0.0, 0.9, 0.0, 0.0, 0.0});
+  bank.fail_ring(2);
+  const std::vector<double> targets = {0.5, -0.5, -0.9, 0.25, -0.25, 0.75};
+  const auto achieved = bank.calibrate(targets);
+  // Ring 2 cannot move: still near its old weight, far from the new target.
+  EXPECT_GT(std::abs(achieved[2] - targets[2]), 0.5);
+  EXPECT_NEAR(0.9, achieved[2], 0.1);
+  // Healthy rings stay accurate.
+  for (std::size_t i : {0u, 1u, 3u, 4u, 5u}) {
+    EXPECT_NEAR(targets[i], achieved[i], 0.01) << "ring " << i;
+  }
+}
+
+TEST(FaultInjection, StuckAtZeroWeightIsBenignForZeroTargets) {
+  auto bank = make_bank(4);
+  // Fresh banks park at weight 0; a heater stuck there only hurts nonzero
+  // targets.
+  bank.fail_ring(0);
+  const auto achieved = bank.calibrate(std::vector<double>{0.0, 0.4, -0.4, 0.8});
+  EXPECT_NEAR(0.0, achieved[0], 0.02);
+  EXPECT_NEAR(0.4, achieved[1], 0.01);
+}
+
+TEST(FaultInjection, DetectionDegradesGracefullyWithFaults) {
+  // MAC error grows with the number of stuck rings but stays bounded by the
+  // faulty channels' contribution.
+  const std::vector<double> targets = {0.8, -0.8, 0.8, -0.8,
+                                       0.8, -0.8, 0.8, -0.8};
+  phot::WdmSignal in(8);
+  for (std::size_t i = 0; i < 8; ++i) in[i] = 1e-3;
+
+  double prev_err = 0.0;
+  for (std::size_t faults = 0; faults <= 4; ++faults) {
+    auto bank = make_bank(8, /*seed=*/77);
+    for (std::size_t f = 0; f < faults; ++f) bank.fail_ring(f);
+    const auto achieved = bank.calibrate(targets);
+    double err = 0.0;
+    for (std::size_t i = 0; i < 8; ++i)
+      err += std::abs(achieved[i] - targets[i]);
+    EXPECT_GE(err, prev_err - 1e-9) << faults;
+    // Each fault can cost at most the full weight swing of one channel.
+    EXPECT_LE(err, static_cast<double>(faults) * 2.0 + 0.1) << faults;
+    prev_err = err;
+  }
+}
+
+TEST(FaultInjection, HealthyBankUnaffectedByUnsticking) {
+  auto bank = make_bank(4);
+  bank.fail_ring(2);
+  bank.fail_ring(2, false);
+  const std::vector<double> targets = {0.3, -0.3, 0.6, -0.6};
+  const auto achieved = bank.calibrate(targets);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(targets[i], achieved[i], 0.01);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Engine-level fault injection (PcnnaConfig::stuck_ring_rate).
+// ---------------------------------------------------------------------------
+
+#include "core/optical_conv_engine.hpp"
+#include "nn/conv_ref.hpp"
+#include "nn/synth.hpp"
+
+namespace {
+
+using core::EngineStats;
+using core::OpticalConvEngine;
+using core::PcnnaConfig;
+
+TEST(EngineFaults, ZeroRateInjectsNothing) {
+  PcnnaConfig cfg = PcnnaConfig::ideal();
+  cfg.stuck_ring_rate = 0.0;
+  OpticalConvEngine engine(cfg);
+  Rng rng(61);
+  nn::ConvLayerParams layer{"f", 8, 3, 1, 1, 2, 4};
+  EngineStats stats;
+  engine.conv2d(nn::make_input(layer, rng), nn::make_conv_weights(layer, rng),
+                {}, 1, 1, &stats);
+  EXPECT_EQ(0u, stats.stuck_rings);
+}
+
+TEST(EngineFaults, RateProducesProportionalFaults) {
+  PcnnaConfig cfg = PcnnaConfig::ideal();
+  cfg.stuck_ring_rate = 0.1;
+  cfg.seed = 5;
+  OpticalConvEngine engine(cfg);
+  Rng rng(62);
+  nn::ConvLayerParams layer{"f", 10, 3, 1, 1, 8, 16}; // 16*72 = 1152 rings
+  EngineStats stats;
+  engine.conv2d(nn::make_input(layer, rng), nn::make_conv_weights(layer, rng),
+                {}, 1, 1, &stats);
+  const double observed = static_cast<double>(stats.stuck_rings) /
+                          static_cast<double>(stats.rings_used);
+  EXPECT_NEAR(0.1, observed, 0.04);
+}
+
+TEST(EngineFaults, ErrorGrowsWithFaultRateButStaysBounded) {
+  Rng rng(63);
+  nn::ConvLayerParams layer{"f", 10, 3, 1, 1, 4, 8};
+  const auto input = nn::make_input(layer, rng);
+  const auto weights = nn::make_conv_weights(layer, rng);
+  const auto golden = nn::conv2d_direct(input, weights, {}, 1, 1);
+
+  double prev = -1.0;
+  for (double rate : {0.0, 0.05, 0.25}) {
+    PcnnaConfig cfg = PcnnaConfig::ideal();
+    cfg.stuck_ring_rate = rate;
+    cfg.seed = 7;
+    OpticalConvEngine engine(cfg);
+    const auto out = engine.conv2d(input, weights, {}, 1, 1);
+    const double err = pcnna::rmse(out.data(), golden.data());
+    EXPECT_GE(err, prev) << rate; // monotone degradation
+    prev = err;
+    // Even at 25% dead tuners the conv stays within the output scale.
+    EXPECT_LT(err, golden.abs_max()) << rate;
+  }
+}
+
+TEST(EngineFaults, FaultsAreDeterministicPerSeed) {
+  PcnnaConfig cfg = PcnnaConfig::ideal();
+  cfg.stuck_ring_rate = 0.1;
+  cfg.seed = 99;
+  Rng rng(64);
+  nn::ConvLayerParams layer{"f", 8, 3, 1, 1, 2, 4};
+  const auto input = nn::make_input(layer, rng);
+  const auto weights = nn::make_conv_weights(layer, rng);
+  OpticalConvEngine a(cfg), b(cfg);
+  EXPECT_EQ(a.conv2d(input, weights, {}, 1, 1),
+            b.conv2d(input, weights, {}, 1, 1));
+}
+
+} // namespace

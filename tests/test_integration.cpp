@@ -1,0 +1,144 @@
+// Integration tests: the paper's headline claims, end to end.
+#include <gtest/gtest.h>
+
+#include "baselines/eyeriss.hpp"
+#include "baselines/yodann.hpp"
+#include "common/rng.hpp"
+#include "core/accelerator.hpp"
+#include "core/optical_conv_engine.hpp"
+#include "core/ring_count.hpp"
+#include "core/timing_model.hpp"
+#include "nn/conv_ref.hpp"
+#include "nn/models.hpp"
+#include "nn/synth.hpp"
+
+namespace {
+
+using namespace pcnna;
+using core::PcnnaConfig;
+using core::TimingFidelity;
+using core::TimingModel;
+
+TEST(Integration, OpticalCoreReachesFiveOrdersVsEyeriss) {
+  // Abstract SS V-B: "its optical core potentially offer more than 5 order
+  // of magnitude speedup compared to state-of-the-art electronic
+  // counterparts" — true for the 13x13 layers where Nlocs is tiny.
+  const TimingModel pcnna(PcnnaConfig::paper_defaults(), TimingFidelity::kPaper);
+  const baselines::EyerissModel eyeriss;
+  double best = 0.0;
+  for (const auto& layer : nn::alexnet_conv_layers()) {
+    const double speedup = eyeriss.layer_time(layer) /
+                           pcnna.layer_time(layer).optical_core_time;
+    best = std::max(best, speedup);
+  }
+  EXPECT_GT(best, 1e5);
+}
+
+TEST(Integration, FullSystemReachesThreeOrdersVsEyeriss) {
+  // "even when taking these electronic I/O limitations into account ... 3
+  // orders of magnitude execution time improvement".
+  const TimingModel pcnna(PcnnaConfig::paper_defaults(), TimingFidelity::kPaper);
+  const baselines::EyerissModel eyeriss;
+  double best = 0.0;
+  for (const auto& layer : nn::alexnet_conv_layers()) {
+    const double speedup = eyeriss.layer_time(layer) /
+                           pcnna.layer_time(layer).full_system_time;
+    best = std::max(best, speedup);
+  }
+  EXPECT_GT(best, 1e3);
+}
+
+TEST(Integration, EveryLayerBeatsBothElectronicBaselines) {
+  const TimingModel pcnna(PcnnaConfig::paper_defaults(), TimingFidelity::kPaper);
+  const baselines::EyerissModel eyeriss;
+  const baselines::YodannModel yodann;
+  for (const auto& layer : nn::alexnet_conv_layers()) {
+    const double t = pcnna.layer_time(layer).full_system_time;
+    EXPECT_LT(t, eyeriss.layer_time(layer)) << layer.name;
+    EXPECT_LT(t, yodann.layer_time(layer)) << layer.name;
+  }
+}
+
+TEST(Integration, ElectronicIoCostsTwoOrdersForDeepLayers) {
+  // Fig. 6 shape: PCNNA(O+E) sits orders above PCNNA(O) for the deep
+  // layers because the DAC, not the optical clock, sets the pace.
+  const TimingModel pcnna(PcnnaConfig::paper_defaults(), TimingFidelity::kPaper);
+  const auto conv4 = nn::alexnet_conv_layers()[3];
+  const auto t = pcnna.layer_time(conv4);
+  const double penalty = t.full_system_time / t.optical_core_time;
+  EXPECT_GT(penalty, 50.0);
+  EXPECT_LT(penalty, 1000.0);
+}
+
+TEST(Integration, AlexNetConvStackTotalsAreMicroseconds) {
+  const TimingModel pcnna(PcnnaConfig::paper_defaults(), TimingFidelity::kPaper);
+  const auto net = pcnna.network_time(nn::alexnet_conv_layers());
+  // Optical core: 4261 locations total -> ~852 ns.
+  EXPECT_NEAR(852e-9, net.total_optical_core, 5e-9);
+  // Full system: tens of microseconds (DAC-bound).
+  EXPECT_GT(net.total_full_system, 10e-6);
+  EXPECT_LT(net.total_full_system, 100e-6);
+}
+
+TEST(Integration, LenetEndToEndThroughPhotonicCore) {
+  // A complete (small) CNN inference through the functional photonic path
+  // under paper-default analog impairments: classification must match the
+  // reference and the error stay bounded.
+  Rng rng(55);
+  const nn::Network net = nn::lenet5();
+  const auto weights = nn::make_network_weights(net, rng);
+  const auto input = nn::make_network_input(net, rng);
+
+  core::Accelerator acc(PcnnaConfig::ideal());
+  const auto report = acc.run(net, weights, input);
+  EXPECT_LT(report.output_max_abs_err, 1e-6);
+  EXPECT_TRUE(report.argmax_match);
+  ASSERT_EQ(3u, report.conv_layers.size());
+}
+
+TEST(Integration, VggPlansAndTimesUnderPaperModel) {
+  // The analytical pipeline must scale to VGG-16 without blowing the SRAM
+  // working set or overflowing any counter.
+  const TimingModel pcnna(PcnnaConfig::paper_defaults(), TimingFidelity::kPaper);
+  const auto net = pcnna.network_time(nn::vgg16_conv_layers());
+  ASSERT_EQ(13u, net.layers.size());
+  EXPECT_GT(net.total_full_system, net.total_optical_core);
+  // VGG has 137 788 kernel locations total -> ~27.6 us optical.
+  EXPECT_NEAR(137'788.0 / 5e9, net.total_optical_core, 1e-9);
+}
+
+TEST(Integration, RingSavingsHoldAcrossCatalogNetworks) {
+  const core::RingCountModel rings;
+  for (const auto& layer : nn::vgg16_conv_layers()) {
+    EXPECT_GE(rings.savings_factor(layer), 1e4) << layer.name;
+  }
+  for (const auto& layer : nn::lenet5_conv_layers()) {
+    EXPECT_GE(rings.savings_factor(layer), 25.0) << layer.name;
+  }
+}
+
+
+TEST(Integration, AlexNetConv1FunctionalThroughPhotonicCore) {
+  // The paper's first layer (224x224x3, 96 kernels of 11x11x3) pushed MAC
+  // by MAC through the photonic models — ~105M MACs, the largest functional
+  // run in the suite. Noise off to make the bound deterministic.
+  Rng rng(2718);
+  const auto conv1 = nn::alexnet_conv_layers()[0];
+  const auto input = nn::make_input(conv1, rng);
+  const auto weights = nn::make_conv_weights(conv1, rng);
+  const auto bias = nn::make_conv_bias(conv1, rng);
+
+  core::PcnnaConfig cfg = PcnnaConfig::paper_defaults();
+  cfg.enable_noise = false;
+  core::OpticalConvEngine engine(cfg);
+  core::EngineStats stats;
+  const auto out = engine.conv2d(input, weights, bias, conv1.s, conv1.p, &stats);
+  const auto ref = nn::conv2d_direct(input, weights, bias, conv1.s, conv1.p);
+
+  EXPECT_EQ(3025u, stats.locations);
+  EXPECT_EQ(conv1.weight_count(), stats.rings_used);
+  // 8b ADC + calibration residuals: a few percent of the output swing.
+  EXPECT_LT(nn::max_abs_diff(out, ref), 0.05 * ref.abs_max());
+}
+
+} // namespace

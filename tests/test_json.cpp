@@ -1,0 +1,106 @@
+// Streaming JSON writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace {
+
+using pcnna::JsonWriter;
+
+TEST(Json, FlatObject) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object().kv("name", "conv1").kv("rings", std::uint64_t{34848})
+      .kv("time", 0.25).kv("ok", true).end_object();
+  w.finish();
+  EXPECT_EQ(R"({"name":"conv1","rings":34848,"time":0.25,"ok":true})",
+            os.str());
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object().key("layers").begin_array();
+  w.begin_object().kv("id", 1).end_object();
+  w.begin_object().kv("id", 2).end_object();
+  w.end_array().end_object();
+  w.finish();
+  EXPECT_EQ(R"({"layers":[{"id":1},{"id":2}]})", os.str());
+}
+
+TEST(Json, ArrayOfScalarsCommaSeparation) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array().value(1).value(2).value(3).end_array();
+  w.finish();
+  EXPECT_EQ("[1,2,3]", os.str());
+}
+
+TEST(Json, StringEscaping) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.value("a\"b\\c\nd\te");
+  w.finish();
+  EXPECT_EQ(R"("a\"b\\c\nd\te")", os.str());
+}
+
+TEST(Json, ControlCharactersEscapedAsUnicode) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.value(std::string_view("\x01", 1));
+  EXPECT_EQ("\"\\u0001\"", os.str());
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array()
+      .value(std::numeric_limits<double>::infinity())
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .end_array();
+  EXPECT_EQ("[null,null]", os.str());
+}
+
+TEST(Json, NullValue) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object().key("x").null().end_object();
+  EXPECT_EQ(R"({"x":null})", os.str());
+}
+
+TEST(Json, MisuseThrows) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1), pcnna::Error); // value without key
+  }
+  {
+    JsonWriter w(os);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), pcnna::Error); // key inside array
+  }
+  {
+    JsonWriter w(os);
+    w.begin_object().key("a");
+    EXPECT_THROW(w.key("b"), pcnna::Error); // two keys in a row
+  }
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), pcnna::Error); // mismatched end
+    EXPECT_THROW(w.finish(), pcnna::Error);    // unbalanced
+  }
+}
+
+TEST(Json, RoundNumbersPrintCompact) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.value(2.5);
+  EXPECT_EQ("2.5", os.str());
+}
+
+} // namespace

@@ -1,0 +1,67 @@
+// Laser diode: CW power, RIN statistics, wall-plug power.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "photonics/laser.hpp"
+
+namespace {
+
+using namespace pcnna;
+namespace u = units;
+
+TEST(Laser, ZeroBandwidthIsDeterministic) {
+  phot::LaserDiode laser(phot::LaserConfig{});
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(laser.cw_power(), laser.emit(0.0, rng));
+}
+
+TEST(Laser, RinNoiseMatchesSpec) {
+  phot::LaserConfig cfg;
+  cfg.power = 1.0 * u::mW;
+  cfg.rin_db_per_hz = -155.0;
+  phot::LaserDiode laser(cfg);
+  Rng rng(2);
+  const double bw = 5.0 * u::GHz;
+  std::vector<double> samples(20'000);
+  for (double& s : samples) s = laser.emit(bw, rng);
+  EXPECT_NEAR(cfg.power, mean(samples), cfg.power * 1e-3);
+  const double expected_sigma =
+      cfg.power * std::sqrt(from_db(cfg.rin_db_per_hz) * bw);
+  EXPECT_NEAR(expected_sigma, stddev(samples), expected_sigma * 0.05);
+}
+
+TEST(Laser, PowerNeverNegative) {
+  phot::LaserConfig cfg;
+  cfg.rin_db_per_hz = -60.0; // absurdly noisy
+  phot::LaserDiode laser(cfg);
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(laser.emit(100.0 * u::GHz, rng), 0.0);
+}
+
+TEST(Laser, WallPlugPower) {
+  phot::LaserConfig cfg;
+  cfg.power = 2.0 * u::mW;
+  cfg.wall_plug_efficiency = 0.2;
+  phot::LaserDiode laser(cfg);
+  EXPECT_NEAR(10.0 * u::mW, laser.electrical_power(), 1e-12);
+}
+
+TEST(Laser, RejectsBadConfig) {
+  phot::LaserConfig cfg;
+  cfg.power = 0.0;
+  EXPECT_THROW(phot::LaserDiode{cfg}, Error);
+  cfg = {};
+  cfg.rin_db_per_hz = 3.0;
+  EXPECT_THROW(phot::LaserDiode{cfg}, Error);
+  cfg = {};
+  cfg.wall_plug_efficiency = 1.5;
+  EXPECT_THROW(phot::LaserDiode{cfg}, Error);
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+// Math helpers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/mathutil.hpp"
+
+namespace {
+
+using namespace pcnna;
+
+TEST(MathUtil, DbRoundTrip) {
+  EXPECT_NEAR(3.0, to_db(from_db(3.0)), 1e-12);
+  EXPECT_NEAR(0.5, from_db(to_db(0.5)), 1e-12);
+  EXPECT_NEAR(10.0, from_db(10.0), 1e-12);
+  EXPECT_NEAR(-3.0103, to_db(0.5), 1e-4);
+}
+
+TEST(MathUtil, DbmConversions) {
+  EXPECT_NEAR(0.0, watts_to_dbm(1e-3), 1e-12);   // 1 mW = 0 dBm
+  EXPECT_NEAR(10.0, watts_to_dbm(10e-3), 1e-12); // 10 mW = 10 dBm
+  EXPECT_NEAR(1e-3, dbm_to_watts(0.0), 1e-15);
+  EXPECT_NEAR(2e-3, dbm_to_watts(watts_to_dbm(2e-3)), 1e-15);
+}
+
+TEST(MathUtil, Clamp) {
+  EXPECT_DOUBLE_EQ(1.0, clamp(5.0, 0.0, 1.0));
+  EXPECT_DOUBLE_EQ(0.0, clamp(-5.0, 0.0, 1.0));
+  EXPECT_DOUBLE_EQ(0.5, clamp(0.5, 0.0, 1.0));
+  EXPECT_DOUBLE_EQ(2.0, clamp(7.0, 2.0, 2.0));
+}
+
+TEST(MathUtil, Lerp) {
+  EXPECT_DOUBLE_EQ(0.0, lerp(0.0, 10.0, 0.0));
+  EXPECT_DOUBLE_EQ(10.0, lerp(0.0, 10.0, 1.0));
+  EXPECT_DOUBLE_EQ(5.0, lerp(0.0, 10.0, 0.5));
+}
+
+TEST(MathUtil, RelativeError) {
+  EXPECT_DOUBLE_EQ(0.0, relative_error(3.0, 3.0));
+  EXPECT_NEAR(0.1, relative_error(9.0, 10.0), 1e-12);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(relative_error(9.0, 10.0), relative_error(10.0, 9.0));
+  // Safe at zero.
+  EXPECT_GE(relative_error(0.0, 0.0), 0.0);
+}
+
+TEST(MathUtil, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1.0, 1.001, 0.01));
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+}
+
+TEST(MathUtil, MeanStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(2.5, mean(xs));
+  EXPECT_NEAR(1.1180339887, stddev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(0.0, mean(std::vector<double>{}));
+  EXPECT_DOUBLE_EQ(0.0, stddev(std::vector<double>{5.0}));
+}
+
+TEST(MathUtil, Rmse) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(0.0, rmse(a, b));
+  const std::vector<double> c = {2.0, 3.0, 4.0};
+  EXPECT_NEAR(1.0, rmse(a, c), 1e-12);
+  const std::vector<double> d = {1.0, 2.0};
+  EXPECT_THROW(rmse(a, d), pcnna::Error);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(0u, ceil_div(0, 10));
+  EXPECT_EQ(1u, ceil_div(1, 10));
+  EXPECT_EQ(1u, ceil_div(10, 10));
+  EXPECT_EQ(2u, ceil_div(11, 10));
+  EXPECT_EQ(116u, ceil_div(1152, 10)); // Eq. (8) worked example, ceiled
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+// SRAM cache and DRAM channel models.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "electronics/dram.hpp"
+#include "electronics/sram.hpp"
+
+namespace {
+
+using namespace pcnna;
+namespace u = units;
+
+TEST(Sram, PaperCapacityIsEightThousandWords) {
+  elec::Sram sram{elec::SramConfig{}};
+  // "128kb capacity that can store 8 thousand 16bit values" [15].
+  EXPECT_EQ(8000u, sram.capacity_words());
+}
+
+TEST(Sram, AllocateTracksOccupancy) {
+  elec::Sram sram{elec::SramConfig{}};
+  sram.allocate(3000);
+  EXPECT_EQ(3000u, sram.used_words());
+  EXPECT_EQ(5000u, sram.free_words());
+  sram.release(1000);
+  EXPECT_EQ(2000u, sram.used_words());
+}
+
+TEST(Sram, OverflowThrows) {
+  elec::Sram sram{elec::SramConfig{}};
+  sram.allocate(8000);
+  EXPECT_THROW(sram.allocate(1), Error);
+}
+
+TEST(Sram, ReleaseMoreThanUsedThrows) {
+  elec::Sram sram{elec::SramConfig{}};
+  sram.allocate(10);
+  EXPECT_THROW(sram.release(11), Error);
+}
+
+TEST(Sram, AccessTimeAtPaperSpec) {
+  elec::Sram sram{elec::SramConfig{}};
+  // 7 ns per word access [15].
+  EXPECT_NEAR(7.0 * u::ns, sram.read(1), 1e-15);
+  EXPECT_NEAR(700.0 * u::ns, sram.write(100), 1e-12);
+}
+
+TEST(Sram, StatisticsAccumulate) {
+  elec::Sram sram{elec::SramConfig{}};
+  sram.read(10);
+  sram.write(5);
+  sram.read(2);
+  EXPECT_EQ(12u, sram.reads());
+  EXPECT_EQ(5u, sram.writes());
+  EXPECT_NEAR(17.0 * sram.config().access_energy, sram.access_energy(), 1e-18);
+  sram.reset_stats();
+  EXPECT_EQ(0u, sram.reads() + sram.writes());
+}
+
+TEST(Sram, AlexNetWorkingSetsFit) {
+  // Every AlexNet receptive field (Nkernel words) fits the 8000-word cache —
+  // the premise of the paper's input-buffering scheme.
+  elec::Sram sram{elec::SramConfig{}};
+  for (std::uint64_t n_kernel : {363u, 2400u, 2304u, 3456u, 3456u}) {
+    EXPECT_LE(n_kernel, sram.capacity_words());
+  }
+}
+
+TEST(Dram, TransferTimeIsLatencyPlusBandwidth) {
+  elec::DramConfig cfg;
+  cfg.bandwidth = 12.8e9;
+  cfg.first_access_latency = 50.0 * u::ns;
+  elec::Dram dram(cfg);
+  EXPECT_NEAR(50e-9 + 1280.0 / 12.8e9, dram.transfer_time(1280), 1e-15);
+  EXPECT_DOUBLE_EQ(0.0, dram.transfer_time(0));
+}
+
+TEST(Dram, TrafficAccounting) {
+  elec::Dram dram{elec::DramConfig{}};
+  dram.read(1000);
+  dram.write(500);
+  dram.read(24);
+  EXPECT_EQ(1024u, dram.bytes_read());
+  EXPECT_EQ(500u, dram.bytes_written());
+  EXPECT_EQ(3u, dram.transactions());
+  EXPECT_NEAR(1524.0 * dram.config().energy_per_byte, dram.access_energy(),
+              1e-15);
+  dram.reset_stats();
+  EXPECT_EQ(0u, dram.transactions());
+}
+
+TEST(Dram, ReadAndWriteReturnTransferTime) {
+  elec::Dram dram{elec::DramConfig{}};
+  EXPECT_DOUBLE_EQ(dram.transfer_time(4096), dram.read(4096));
+  EXPECT_DOUBLE_EQ(dram.transfer_time(4096), dram.write(4096));
+}
+
+TEST(Memory, RejectBadConfigs) {
+  elec::SramConfig s;
+  s.word_bits = 0;
+  EXPECT_THROW(elec::Sram{s}, Error);
+  elec::DramConfig d;
+  d.bandwidth = 0.0;
+  EXPECT_THROW(elec::Dram{d}, Error);
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+// Microring resonator: Lorentzian response, thermal tuning, quantization,
+// fabrication disorder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "photonics/microring.hpp"
+
+namespace {
+
+using namespace pcnna;
+namespace u = units;
+
+phot::MicroringResonator make_ring(phot::MicroringConfig cfg = {},
+                                   std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return phot::MicroringResonator(cfg, rng);
+}
+
+TEST(Microring, LinewidthFromQ) {
+  phot::MicroringConfig cfg;
+  cfg.design_wavelength = 1550.0 * u::nm;
+  cfg.q_factor = 20'000.0;
+  auto ring = make_ring(cfg);
+  EXPECT_NEAR(1550.0 * u::nm / 20'000.0, ring.linewidth(), 1e-20);
+}
+
+TEST(Microring, OnResonanceDropsMaxFraction) {
+  phot::MicroringConfig cfg;
+  cfg.max_drop = 0.9;
+  auto ring = make_ring(cfg);
+  EXPECT_NEAR(0.9, ring.drop_fraction(ring.resonance()), 1e-12);
+}
+
+TEST(Microring, LorentzianHalfWidthAtHalfMax) {
+  auto ring = make_ring();
+  const double half = 0.5 * ring.linewidth();
+  const double on = ring.drop_fraction(ring.resonance());
+  EXPECT_NEAR(on / 2.0, ring.drop_fraction(ring.resonance() + half), on * 1e-9);
+  EXPECT_NEAR(on / 2.0, ring.drop_fraction(ring.resonance() - half), on * 1e-9);
+}
+
+TEST(Microring, DropFallsOffSymmetricallyAndMonotonically) {
+  auto ring = make_ring();
+  const double res = ring.resonance();
+  double prev = ring.drop_fraction(res);
+  for (int i = 1; i <= 20; ++i) {
+    const double delta = i * 0.02 * u::nm;
+    const double d = ring.drop_fraction(res + delta);
+    EXPECT_LT(d, prev);
+    EXPECT_NEAR(d, ring.drop_fraction(res - delta), d * 1e-9);
+    prev = d;
+  }
+}
+
+TEST(Microring, ThroughPlusDropConserveEnergyMinusLoss) {
+  phot::MicroringConfig cfg;
+  cfg.insertion_loss_db = 0.0;
+  auto ring = make_ring(cfg);
+  for (double delta : {0.0, 0.01, 0.1, 0.5}) {
+    const double lambda = ring.resonance() + delta * u::nm;
+    EXPECT_NEAR(1.0, ring.drop_fraction(lambda) + ring.through_fraction(lambda),
+                1e-12);
+  }
+}
+
+TEST(Microring, InsertionLossReducesThrough) {
+  phot::MicroringConfig cfg;
+  cfg.insertion_loss_db = 3.0;
+  auto ring = make_ring(cfg);
+  const double far = ring.resonance() + 100.0 * u::nm;
+  // -3 dB is a factor of 0.50119, not exactly one half.
+  EXPECT_NEAR(from_db(-3.0), ring.through_fraction(far), 1e-4);
+}
+
+TEST(Microring, ThermalShiftMovesResonanceRed) {
+  auto ring = make_ring();
+  const double before = ring.resonance();
+  // Applied shift matches the request to within one quantization step.
+  const double step =
+      ring.config().max_detuning / ((std::uint64_t{1} << 12) - 1);
+  const double applied = ring.set_thermal_shift(0.2 * u::nm);
+  EXPECT_NEAR(0.2 * u::nm, applied, step);
+  EXPECT_NEAR(before + applied, ring.resonance(), 1e-18);
+}
+
+TEST(Microring, ShiftClampsToRange) {
+  phot::MicroringConfig cfg;
+  cfg.max_detuning = 0.4 * u::nm;
+  auto ring = make_ring(cfg);
+  EXPECT_LE(ring.set_thermal_shift(5.0 * u::nm), 0.4 * u::nm + 1e-15);
+  EXPECT_DOUBLE_EQ(0.0, ring.set_thermal_shift(-1.0 * u::nm));
+}
+
+TEST(Microring, ShiftIsQuantized) {
+  phot::MicroringConfig cfg;
+  cfg.tuning_bits = 4; // 15 steps over the range
+  cfg.max_detuning = 0.4 * u::nm;
+  cfg.fab_sigma = 0.0;
+  auto ring = make_ring(cfg);
+  const double step = 0.4 * u::nm / 15.0;
+  const double applied = ring.set_thermal_shift(0.37 * step);
+  EXPECT_NEAR(0.0, applied, 1e-18); // rounds down to level 0
+  const double applied2 = ring.set_thermal_shift(0.63 * step);
+  EXPECT_NEAR(step, applied2, 1e-18); // rounds up to level 1
+}
+
+TEST(Microring, HeaterPowerProportionalToShift) {
+  phot::MicroringConfig cfg;
+  cfg.thermal_efficiency = 0.25 * u::nm / u::mW;
+  auto ring = make_ring(cfg);
+  ring.set_thermal_shift(0.25 * u::nm);
+  EXPECT_NEAR(1.0 * u::mW, ring.heater_power(), 0.01 * u::mW);
+}
+
+TEST(Microring, FabricationDisorderShiftsNaturalResonance) {
+  phot::MicroringConfig cfg;
+  cfg.fab_sigma = 0.05 * u::nm;
+  Rng rng(7);
+  int moved = 0;
+  for (int i = 0; i < 32; ++i) {
+    phot::MicroringResonator ring(cfg, rng);
+    if (std::abs(ring.natural_resonance() - cfg.design_wavelength) > 1e-15)
+      ++moved;
+  }
+  EXPECT_EQ(32, moved);
+}
+
+TEST(Microring, NoDisorderWhenSigmaZero) {
+  auto ring = make_ring();
+  EXPECT_DOUBLE_EQ(ring.config().design_wavelength, ring.natural_resonance());
+}
+
+TEST(Microring, AreaIsFootprintSquared) {
+  phot::MicroringConfig cfg;
+  cfg.footprint_side = 25.0 * u::um;
+  auto ring = make_ring(cfg);
+  EXPECT_NEAR(625.0 * u::um2, ring.area(), 1e-18);
+}
+
+TEST(Microring, RejectsBadConfig) {
+  Rng rng(1);
+  phot::MicroringConfig cfg;
+  cfg.q_factor = 0.5;
+  EXPECT_THROW(phot::MicroringResonator(cfg, rng), Error);
+  cfg = {};
+  cfg.max_drop = 1.5;
+  EXPECT_THROW(phot::MicroringResonator(cfg, rng), Error);
+  cfg = {};
+  cfg.tuning_bits = 0;
+  EXPECT_THROW(phot::MicroringResonator(cfg, rng), Error);
+  cfg = {};
+  cfg.tuning_bits = 50;
+  EXPECT_THROW(phot::MicroringResonator(cfg, rng), Error);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+// Model catalogs: the exact shapes the paper's evaluation depends on.
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace pcnna::nn;
+
+TEST(Models, AlexNetConv1MatchesPaper) {
+  const auto layers = alexnet_conv_layers();
+  ASSERT_EQ(5u, layers.size());
+  // "input feature map of shape 224x224x3 and 96 kernels of shape 11x11x3".
+  EXPECT_EQ(224u, layers[0].n);
+  EXPECT_EQ(3u, layers[0].nc);
+  EXPECT_EQ(11u, layers[0].m);
+  EXPECT_EQ(96u, layers[0].K);
+  EXPECT_EQ(4u, layers[0].s);
+}
+
+TEST(Models, AlexNetLayerChainIsConsistent) {
+  // After conv1 (55) + pool (27): conv2 sees 27x27x96, and so on.
+  const auto layers = alexnet_conv_layers();
+  EXPECT_EQ(55u, layers[0].output_side());
+  EXPECT_EQ(27u, layers[1].n);
+  EXPECT_EQ(layers[0].K, layers[1].nc);
+  EXPECT_EQ(27u, layers[1].output_side());
+  EXPECT_EQ(13u, layers[2].n);
+  EXPECT_EQ(layers[1].K, layers[2].nc);
+  EXPECT_EQ(layers[2].K, layers[3].nc);
+  EXPECT_EQ(layers[3].K, layers[4].nc);
+}
+
+TEST(Models, AlexNetFullGraphBuildsAndEndsAt1000) {
+  const Network net = alexnet();
+  EXPECT_EQ((Shape4{1, 1000, 1, 1}), net.output_shape());
+  // 5 conv + 3 fc parameterized ops.
+  std::size_t convs = 0, fcs = 0;
+  for (const auto& op : net.ops()) {
+    if (op.kind == OpKind::kConv) ++convs;
+    if (op.kind == OpKind::kFullyConnected) ++fcs;
+  }
+  EXPECT_EQ(5u, convs);
+  EXPECT_EQ(3u, fcs);
+  // ~60M parameters total (sanity band for single-tower AlexNet).
+  EXPECT_GT(net.weight_count(), 55'000'000u);
+  EXPECT_LT(net.weight_count(), 65'000'000u);
+}
+
+TEST(Models, LeNet5Shapes) {
+  const auto layers = lenet5_conv_layers();
+  ASSERT_EQ(3u, layers.size());
+  EXPECT_EQ(28u, layers[0].output_side());
+  EXPECT_EQ(10u, layers[1].output_side());
+  EXPECT_EQ(1u, layers[2].output_side());
+  const Network net = lenet5();
+  EXPECT_EQ((Shape4{1, 10, 1, 1}), net.output_shape());
+}
+
+TEST(Models, Vgg16Has13ConvLayersAllThreeByThree) {
+  const auto layers = vgg16_conv_layers();
+  ASSERT_EQ(13u, layers.size());
+  for (const auto& layer : layers) {
+    EXPECT_EQ(3u, layer.m) << layer.name;
+    EXPECT_EQ(1u, layer.p) << layer.name;
+    EXPECT_EQ(1u, layer.s) << layer.name;
+    // Same-padding: output side equals input side.
+    EXPECT_EQ(layer.n, layer.output_side()) << layer.name;
+  }
+  const Network net = vgg16();
+  EXPECT_EQ((Shape4{1, 1000, 1, 1}), net.output_shape());
+  // VGG-16 conv stack is ~15.3G MACs.
+  EXPECT_GT(net.conv_macs(), 15'000'000'000u);
+  EXPECT_LT(net.conv_macs(), 15'600'000'000u);
+}
+
+TEST(Models, ResNet18ConvCatalog) {
+  const auto layers = resnet18_conv_layers();
+  ASSERT_EQ(20u, layers.size());
+  // Stem: 7x7/2 on 224 -> 112.
+  EXPECT_EQ(112u, layers[0].output_side());
+  // Channel chain is consistent within each stage.
+  for (const auto& layer : layers) {
+    EXPECT_NO_THROW(layer.validate()) << layer.name;
+  }
+  // Strided blocks halve the side: l2_b0_c1 is 56 -> 28.
+  const auto* l2 = &layers[5];
+  EXPECT_EQ("l2_b0_c1", l2->name);
+  EXPECT_EQ(28u, l2->output_side());
+  // Downsample projections are 1x1 stride 2.
+  const auto* ds = &layers[7];
+  EXPECT_EQ("l2_b0_ds", ds->name);
+  EXPECT_EQ(1u, ds->m);
+  EXPECT_EQ(2u, ds->s);
+  EXPECT_EQ(l2->output_side(), ds->output_side());
+  // ~1.8 GMACs for the conv stack (sanity band).
+  std::uint64_t macs = 0;
+  for (const auto& layer : layers) macs += layer.macs();
+  EXPECT_GT(macs, 1'700'000'000u);
+  EXPECT_LT(macs, 1'900'000'000u);
+}
+
+TEST(Models, ResNet18FitsThePcnnaCache) {
+  // Every receptive field must fit the 8000-word SRAM (3*3*512 = 4608 max).
+  for (const auto& layer : resnet18_conv_layers()) {
+    EXPECT_LE(layer.kernel_size(), 8000u) << layer.name;
+  }
+}
+
+TEST(Models, TinyCnnIsSmall) {
+  const Network net = tiny_cnn();
+  EXPECT_LT(net.conv_macs(), 20'000u);
+  EXPECT_EQ((Shape4{1, 10, 1, 1}), net.output_shape());
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+// Mach-Zehnder modulator: transfer function, predistortion, extinction.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+#include "photonics/modulator.hpp"
+
+namespace {
+
+using namespace pcnna;
+
+TEST(Mzm, RawTransferIsSinSquared) {
+  phot::MzmConfig cfg;
+  cfg.v_pi = 2.0;
+  phot::MachZehnderModulator mzm(cfg);
+  EXPECT_NEAR(0.0, mzm.raw_transfer(0.0), 1e-12);
+  EXPECT_NEAR(0.5, mzm.raw_transfer(1.0), 1e-12); // half-wave/2
+  EXPECT_NEAR(1.0, mzm.raw_transfer(2.0), 1e-12); // full Vpi
+}
+
+TEST(Mzm, PredistortedResponseIsLinear) {
+  phot::MzmConfig cfg;
+  cfg.predistort = true;
+  cfg.insertion_loss_db = 0.0;
+  cfg.extinction_ratio_db = 300.0; // negligible floor
+  phot::MachZehnderModulator mzm(cfg);
+  for (double x : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_NEAR(x, mzm.transmit_fraction(x), 1e-10) << "x=" << x;
+  }
+}
+
+TEST(Mzm, UncompensatedResponseIsNonlinear) {
+  phot::MzmConfig cfg;
+  cfg.predistort = false;
+  cfg.insertion_loss_db = 0.0;
+  cfg.extinction_ratio_db = 300.0;
+  phot::MachZehnderModulator mzm(cfg);
+  // sin^2(pi/2 * 0.5) = 0.5, so the midpoint matches, but quarter points sag.
+  EXPECT_NEAR(0.5, mzm.transmit_fraction(0.5), 1e-9);
+  EXPECT_LT(mzm.transmit_fraction(0.25), 0.25);
+  EXPECT_GT(mzm.transmit_fraction(0.75), 0.75);
+}
+
+TEST(Mzm, InsertionLossScalesOutput) {
+  phot::MzmConfig cfg;
+  cfg.insertion_loss_db = 3.0;
+  cfg.extinction_ratio_db = 300.0;
+  phot::MachZehnderModulator mzm(cfg);
+  EXPECT_NEAR(from_db(-3.0), mzm.transmit_fraction(1.0), 1e-9);
+}
+
+TEST(Mzm, ExtinctionFloorLeaksAtZero) {
+  phot::MzmConfig cfg;
+  cfg.insertion_loss_db = 0.0;
+  cfg.extinction_ratio_db = 20.0; // 1% floor
+  phot::MachZehnderModulator mzm(cfg);
+  EXPECT_NEAR(0.01, mzm.transmit_fraction(0.0), 1e-9);
+}
+
+TEST(Mzm, ModulateAppliesToInputPower) {
+  phot::MzmConfig cfg;
+  cfg.insertion_loss_db = 0.0;
+  cfg.extinction_ratio_db = 300.0;
+  phot::MachZehnderModulator mzm(cfg);
+  EXPECT_NEAR(0.5e-3, mzm.modulate(1e-3, 0.5), 1e-12);
+}
+
+TEST(Mzm, OutOfRangeInputThrows) {
+  phot::MachZehnderModulator mzm{phot::MzmConfig{}};
+  EXPECT_THROW(mzm.transmit_fraction(-0.1), Error);
+  EXPECT_THROW(mzm.transmit_fraction(1.1), Error);
+}
+
+TEST(Mzm, MonotoneInInput) {
+  phot::MachZehnderModulator mzm{phot::MzmConfig{}};
+  double prev = -1.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double t = mzm.transmit_fraction(i / 100.0);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+} // namespace

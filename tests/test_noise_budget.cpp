@@ -1,0 +1,143 @@
+// Closed-form noise budget, cross-validated against the functional
+// simulator — the analytical model must predict what the Monte Carlo
+// photonic chain actually does.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "core/noise_budget.hpp"
+#include "core/optical_conv_engine.hpp"
+#include "nn/conv_ref.hpp"
+#include "nn/models.hpp"
+#include "nn/synth.hpp"
+
+namespace {
+
+using namespace pcnna;
+using core::NoiseBudget;
+using core::NoiseBudgetModel;
+using core::PcnnaConfig;
+
+TEST(NoiseBudget, NoiseOffMeansZeroAnalogSigma) {
+  PcnnaConfig cfg = PcnnaConfig::paper_defaults();
+  cfg.enable_noise = false;
+  cfg.enable_quantization = false;
+  const NoiseBudgetModel model(cfg);
+  const auto b = model.layer_budget(nn::alexnet_conv_layers()[2]);
+  EXPECT_DOUBLE_EQ(0.0, b.mac_sigma);
+  EXPECT_DOUBLE_EQ(0.0, b.adc_quantization_sigma);
+  EXPECT_GT(b.snr_db, 1e6);
+}
+
+TEST(NoiseBudget, ComponentsCombineInQuadrature) {
+  const NoiseBudgetModel model(PcnnaConfig::paper_defaults());
+  const auto b = model.layer_budget(nn::alexnet_conv_layers()[2]);
+  EXPECT_NEAR(std::sqrt(b.sigma_rin * b.sigma_rin + b.sigma_shot * b.sigma_shot +
+                        b.sigma_thermal * b.sigma_thermal),
+              b.sigma_pass, 1e-18);
+  EXPECT_NEAR(std::sqrt(b.mac_sigma * b.mac_sigma +
+                        b.adc_quantization_sigma * b.adc_quantization_sigma),
+              b.total_mac_sigma(), 1e-18);
+}
+
+TEST(NoiseBudget, MoreLaserPowerImprovesSnr) {
+  PcnnaConfig lo = PcnnaConfig::paper_defaults();
+  PcnnaConfig hi = PcnnaConfig::paper_defaults();
+  lo.enable_quantization = false;
+  hi.enable_quantization = false;
+  lo.laser.power = 1e-3;
+  hi.laser.power = 10e-3;
+  const auto b_lo =
+      NoiseBudgetModel(lo).layer_budget(nn::alexnet_conv_layers()[2]);
+  const auto b_hi =
+      NoiseBudgetModel(hi).layer_budget(nn::alexnet_conv_layers()[2]);
+  EXPECT_GT(b_hi.snr_db, b_lo.snr_db);
+}
+
+TEST(NoiseBudget, MoreFanoutHurtsSnr) {
+  const NoiseBudgetModel model(PcnnaConfig::paper_defaults());
+  const auto few = model.pass_budget(64, 1, /*fanout=*/8, 64);
+  const auto many = model.pass_budget(64, 1, /*fanout=*/512, 64);
+  EXPECT_GT(few.snr_db, many.snr_db);
+}
+
+TEST(NoiseBudget, MorePassesAccumulateNoise) {
+  const NoiseBudgetModel model(PcnnaConfig::paper_defaults());
+  const auto one = model.pass_budget(64, 1, 16, 64);
+  const auto nine = model.pass_budget(64, 9, 16, 9 * 64);
+  EXPECT_NEAR(3.0, nine.mac_sigma / one.mac_sigma, 1e-9);
+}
+
+TEST(NoiseBudget, DominantSourceIsNamed) {
+  const NoiseBudgetModel model(PcnnaConfig::paper_defaults());
+  const auto b = model.layer_budget(nn::alexnet_conv_layers()[0]);
+  const std::string source = b.dominant_source;
+  EXPECT_TRUE(source == "RIN" || source == "shot" || source == "thermal" ||
+              source == "ADC")
+      << source;
+}
+
+TEST(NoiseBudget, ThermalSigmaMatchesClosedForm) {
+  PcnnaConfig cfg = PcnnaConfig::paper_defaults();
+  cfg.laser.rin_db_per_hz = -300.0; // kill RIN
+  cfg.bank.photodiode.enable_shot_noise = false;
+  const NoiseBudgetModel model(cfg);
+  const auto b = model.pass_budget(32, 1, 8, 32);
+  const double expected = std::sqrt(2.0 * 4.0 * units::k_B * 300.0 *
+                                    cfg.fast_clock /
+                                    cfg.bank.photodiode.load_resistance);
+  EXPECT_NEAR(expected, b.sigma_thermal, expected * 1e-9);
+  EXPECT_NEAR(expected, b.sigma_pass, expected * 1e-6);
+}
+
+// The headline test: predicted MAC sigma must match the functional
+// simulator's empirically measured error within a factor-of-two band
+// (distributional assumptions are approximate, but the scale must agree).
+TEST(NoiseBudget, PredictsFunctionalSimulatorError) {
+  nn::ConvLayerParams layer{"probe", 10, 3, 1, 1, 8, 16};
+  PcnnaConfig cfg = PcnnaConfig::paper_defaults();
+  cfg.enable_quantization = false; // isolate the analog noise
+  cfg.seed = 31337;
+
+  Rng rng(11);
+  const auto input = nn::make_input(layer, rng);
+  const auto weights = nn::make_conv_weights(layer, rng);
+  const auto golden = nn::conv2d_direct(input, weights, {}, layer.s, layer.p);
+
+  core::OpticalConvEngine engine(cfg);
+  const auto out = engine.conv2d(input, weights, {}, layer.s, layer.p);
+  const double measured_rmse = rmse(out.data(), golden.data());
+
+  // The budget predicts sigma in normalized MAC units; convert to output
+  // units with the same recover factor the engine uses (~ x_scale *
+  // w_absmax / denom, denom ~ 0.95 * usable ~ 0.9).
+  const NoiseBudgetModel model(cfg);
+  const auto b = model.layer_budget(layer);
+  const double recover = input.abs_max() * weights.abs_max() / 0.9;
+  const double predicted_rmse = b.total_mac_sigma() * recover;
+
+  EXPECT_GT(measured_rmse, predicted_rmse / 2.0);
+  EXPECT_LT(measured_rmse, predicted_rmse * 2.0);
+}
+
+TEST(NoiseBudget, PerChannelAllocationPaysQuantizationPerPass) {
+  PcnnaConfig full = PcnnaConfig::paper_defaults();
+  PcnnaConfig pc = PcnnaConfig::paper_defaults();
+  pc.allocation = core::RingAllocation::kPerChannel;
+  const auto conv3 = nn::alexnet_conv_layers()[2];
+  const auto b_full = NoiseBudgetModel(full).layer_budget(conv3);
+  const auto b_pc = NoiseBudgetModel(pc).layer_budget(conv3);
+  EXPECT_GT(b_pc.adc_quantization_sigma, b_full.adc_quantization_sigma);
+}
+
+TEST(NoiseBudget, RejectsDegenerateArgs) {
+  const NoiseBudgetModel model(PcnnaConfig::paper_defaults());
+  EXPECT_THROW(model.pass_budget(0, 1, 1, 1), Error);
+  EXPECT_THROW(model.pass_budget(1, 0, 1, 1), Error);
+  EXPECT_THROW(model.pass_budget(1, 1, 0, 1), Error);
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+// Photodiode and balanced detection: responsivity, shot/thermal noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "photonics/photodiode.hpp"
+
+namespace {
+
+using namespace pcnna;
+namespace u = units;
+
+TEST(Photodiode, IdealCurrentIsResponsivityTimesPower) {
+  phot::PhotodiodeConfig cfg;
+  cfg.responsivity = 0.8;
+  cfg.dark_current = 0.0;
+  phot::Photodiode pd(cfg);
+  EXPECT_NEAR(0.8e-3, pd.ideal_current(1e-3), 1e-15);
+}
+
+TEST(Photodiode, DarkCurrentAdds) {
+  phot::PhotodiodeConfig cfg;
+  cfg.dark_current = 5e-9;
+  phot::Photodiode pd(cfg);
+  EXPECT_NEAR(5e-9, pd.ideal_current(0.0), 1e-18);
+}
+
+TEST(Photodiode, ZeroBandwidthDeterministic) {
+  phot::Photodiode pd{phot::PhotodiodeConfig{}};
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(pd.ideal_current(1e-3), pd.detect(1e-3, 0.0, rng));
+}
+
+TEST(Photodiode, ShotNoiseScalesWithSqrtCurrent) {
+  phot::PhotodiodeConfig cfg;
+  cfg.enable_thermal_noise = false;
+  cfg.dark_current = 0.0;
+  phot::Photodiode pd(cfg);
+  const double bw = 5.0 * u::GHz;
+  const double i1 = pd.noise_sigma(1e-3, bw);
+  const double i4 = pd.noise_sigma(4e-3, bw);
+  EXPECT_NEAR(2.0, i4 / i1, 1e-9);
+  // Absolute value: sqrt(2 q I B).
+  EXPECT_NEAR(std::sqrt(2.0 * u::q_e * 1e-3 * bw), i1, 1e-12);
+}
+
+TEST(Photodiode, ThermalNoiseIndependentOfCurrent) {
+  phot::PhotodiodeConfig cfg;
+  cfg.enable_shot_noise = false;
+  phot::Photodiode pd(cfg);
+  const double bw = 5.0 * u::GHz;
+  EXPECT_DOUBLE_EQ(pd.noise_sigma(1e-3, bw), pd.noise_sigma(9e-3, bw));
+  EXPECT_NEAR(std::sqrt(4.0 * u::k_B * cfg.temperature * bw / cfg.load_resistance),
+              pd.noise_sigma(1e-3, bw), 1e-12);
+}
+
+TEST(Photodiode, MeasuredNoiseMatchesSigma) {
+  phot::Photodiode pd{phot::PhotodiodeConfig{}};
+  Rng rng(3);
+  const double bw = 5.0 * u::GHz;
+  const double power = 1e-3;
+  std::vector<double> samples(20'000);
+  for (double& s : samples) s = pd.detect(power, bw, rng);
+  const double expect_mean = pd.ideal_current(power);
+  const double expect_sigma = pd.noise_sigma(expect_mean, bw);
+  EXPECT_NEAR(expect_mean, mean(samples), 5e-2 * expect_mean);
+  EXPECT_NEAR(expect_sigma, stddev(samples), 0.05 * expect_sigma);
+}
+
+TEST(Balanced, SubtractsBranches) {
+  phot::PhotodiodeConfig cfg;
+  cfg.dark_current = 7e-9; // must cancel
+  phot::BalancedPhotodiode pd(cfg);
+  EXPECT_NEAR(cfg.responsivity * (2e-3 - 0.5e-3), pd.ideal_current(2e-3, 0.5e-3),
+              1e-15);
+}
+
+TEST(Balanced, SignedOutput) {
+  phot::BalancedPhotodiode pd{phot::PhotodiodeConfig{}};
+  EXPECT_LT(pd.ideal_current(0.0, 1e-3), 0.0);
+  EXPECT_GT(pd.ideal_current(1e-3, 0.0), 0.0);
+}
+
+TEST(Balanced, NoiseAccumulatesFromBothBranches) {
+  phot::PhotodiodeConfig cfg;
+  cfg.enable_shot_noise = false; // thermal only: each branch equal sigma
+  phot::BalancedPhotodiode pd(cfg);
+  Rng rng(5);
+  const double bw = 5.0 * u::GHz;
+  std::vector<double> samples(20'000);
+  for (double& s : samples) s = pd.detect(1e-3, 1e-3, bw, rng);
+  const double one_branch = pd.plus_branch().noise_sigma(0.0, bw);
+  EXPECT_NEAR(std::sqrt(2.0) * one_branch, stddev(samples), 0.05 * one_branch);
+}
+
+TEST(Photodiode, NegativePowerThrows) {
+  phot::Photodiode pd{phot::PhotodiodeConfig{}};
+  Rng rng(1);
+  EXPECT_THROW(pd.detect(-1e-3, 0.0, rng), Error);
+}
+
+} // namespace

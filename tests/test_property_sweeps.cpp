@@ -1,0 +1,242 @@
+// Parameterized property tests: invariants that must hold across layer
+// shapes, allocations, and hardware configurations.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/noise_budget.hpp"
+#include "core/optical_conv_engine.hpp"
+#include "core/ring_count.hpp"
+#include "core/scheduler.hpp"
+#include "core/timing_model.hpp"
+#include "nn/conv_ref.hpp"
+#include "nn/models.hpp"
+#include "nn/synth.hpp"
+
+namespace {
+
+using namespace pcnna;
+using core::PcnnaConfig;
+using core::RingAllocation;
+using core::RingCountModel;
+using core::Scheduler;
+using core::TimingFidelity;
+using core::TimingModel;
+
+// ---------------------------------------------------------------------------
+// Sweep over a grid of layer shapes.
+// ---------------------------------------------------------------------------
+
+struct ShapeCase {
+  nn::ConvLayerParams layer;
+};
+
+void PrintTo(const ShapeCase& c, std::ostream* os) { *os << c.layer.name; }
+
+class LayerShapeSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(LayerShapeSweep, FilteredRingsNeverExceedUnfiltered) {
+  const RingCountModel model;
+  const auto& layer = GetParam().layer;
+  EXPECT_LE(model.filtered(layer), model.unfiltered(layer));
+  EXPECT_LE(model.filtered(layer, RingAllocation::kPerChannel),
+            model.filtered(layer, RingAllocation::kFullKernel));
+  EXPECT_DOUBLE_EQ(static_cast<double>(layer.input_size()),
+                   model.savings_factor(layer));
+}
+
+TEST_P(LayerShapeSweep, OutputAlgebraConsistentWithGoldenConv) {
+  const auto& layer = GetParam().layer;
+  Rng rng(101);
+  const auto input = nn::make_input(layer, rng);
+  const auto weights = nn::make_conv_weights(layer, rng);
+  const auto out = nn::conv2d_direct(input, weights, {}, layer.s, layer.p);
+  EXPECT_EQ(layer.output_side(), out.shape().h);
+  EXPECT_EQ(layer.output_side(), out.shape().w);
+  EXPECT_EQ(layer.K, out.shape().c);
+  EXPECT_EQ(layer.output_size(), out.size());
+}
+
+TEST_P(LayerShapeSweep, SchedulerCoversEveryReceptiveFieldValueOnce) {
+  const auto& layer = GetParam().layer;
+  const Scheduler sched(PcnnaConfig::paper_defaults());
+  const auto plan = sched.plan(layer);
+  std::uint64_t prev_end = 0;
+  for (const auto& slice : plan.groups) {
+    EXPECT_EQ(prev_end, slice.begin);
+    prev_end = slice.end;
+  }
+  const std::uint64_t per_pass = plan.allocation == RingAllocation::kFullKernel
+                                     ? layer.kernel_size()
+                                     : layer.m * layer.m;
+  EXPECT_EQ(per_pass, prev_end);
+  EXPECT_EQ(layer.num_locations(), plan.locations);
+}
+
+TEST_P(LayerShapeSweep, PaperTimingInvariants) {
+  const auto& layer = GetParam().layer;
+  const TimingModel model(PcnnaConfig::paper_defaults(), TimingFidelity::kPaper);
+  const auto t = model.layer_time(layer);
+  // Eq. (7) exactly.
+  EXPECT_DOUBLE_EQ(static_cast<double>(layer.num_locations()) / 5e9,
+                   t.optical_core_time);
+  // Electronics can only slow the optical core down.
+  EXPECT_GE(t.full_system_time, t.optical_core_time);
+}
+
+TEST_P(LayerShapeSweep, OpticalTimeIndependentOfK) {
+  nn::ConvLayerParams layer = GetParam().layer;
+  const TimingModel model(PcnnaConfig::paper_defaults(), TimingFidelity::kPaper);
+  const double t_base = model.layer_time(layer).optical_core_time;
+  layer.K *= 7;
+  EXPECT_DOUBLE_EQ(t_base, model.layer_time(layer).optical_core_time);
+}
+
+TEST_P(LayerShapeSweep, FullFidelityDominatesPaperFidelity) {
+  const auto& layer = GetParam().layer;
+  const TimingModel paper(PcnnaConfig::paper_defaults(), TimingFidelity::kPaper);
+  const TimingModel full(PcnnaConfig::paper_defaults(), TimingFidelity::kFull);
+  EXPECT_GE(full.layer_time(layer).full_system_time,
+            paper.layer_time(layer).full_system_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayerShapeSweep,
+    ::testing::Values(
+        ShapeCase{{"s3x3", 16, 3, 1, 1, 8, 16}},
+        ShapeCase{{"s5x5", 16, 5, 2, 1, 4, 8}},
+        ShapeCase{{"s1x1", 12, 1, 0, 1, 16, 32}},
+        ShapeCase{{"s7x7s2", 28, 7, 3, 2, 3, 12}},
+        ShapeCase{{"s11x11s4", 64, 11, 2, 4, 3, 16}},
+        ShapeCase{{"nopad", 10, 3, 0, 1, 2, 4}},
+        ShapeCase{{"bigstride", 17, 3, 0, 3, 5, 6}},
+        ShapeCase{{"deep", 8, 3, 1, 1, 96, 4}}),
+    [](const ::testing::TestParamInfo<ShapeCase>& info) {
+      return info.param.layer.name;
+    });
+
+// ---------------------------------------------------------------------------
+// DAC-count sweep: Eq. (8) monotonicity.
+// ---------------------------------------------------------------------------
+
+class DacSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DacSweep, MoreDacsNeverSlower) {
+  PcnnaConfig fewer = PcnnaConfig::paper_defaults();
+  PcnnaConfig more = PcnnaConfig::paper_defaults();
+  fewer.num_input_dacs = GetParam();
+  more.num_input_dacs = GetParam() * 2;
+  const TimingModel m_fewer(fewer, TimingFidelity::kPaper);
+  const TimingModel m_more(more, TimingFidelity::kPaper);
+  for (const auto& layer : nn::alexnet_conv_layers()) {
+    EXPECT_LE(m_more.layer_time(layer).full_system_time,
+              m_fewer.layer_time(layer).full_system_time)
+        << layer.name << " NDAC=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NdacGrid, DacSweep,
+                         ::testing::Values(1, 2, 5, 10, 20, 50));
+
+// ---------------------------------------------------------------------------
+// Functional-engine fidelity sweep over shapes (ideal config must match the
+// golden convolution everywhere).
+// ---------------------------------------------------------------------------
+
+class EngineShapeSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(EngineShapeSweep, IdealEngineMatchesGolden) {
+  const auto& layer = GetParam().layer;
+  Rng rng(202);
+  const auto input = nn::make_input(layer, rng);
+  const auto weights = nn::make_conv_weights(layer, rng);
+  const auto bias = nn::make_conv_bias(layer, rng);
+  core::OpticalConvEngine engine(PcnnaConfig::ideal());
+  const auto out = engine.conv2d(input, weights, bias, layer.s, layer.p);
+  const auto ref = nn::conv2d_direct(input, weights, bias, layer.s, layer.p);
+  EXPECT_LT(nn::max_abs_diff(out, ref), 1e-6) << layer.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EngineShapes, EngineShapeSweep,
+    ::testing::Values(ShapeCase{{"e3x3", 8, 3, 1, 1, 2, 4}},
+                      ShapeCase{{"e5x5s2", 9, 5, 2, 2, 3, 2}},
+                      ShapeCase{{"e1x1", 6, 1, 0, 1, 4, 8}},
+                      ShapeCase{{"enopad", 7, 3, 0, 1, 2, 3}},
+                      ShapeCase{{"estride3", 11, 3, 1, 3, 2, 2}}),
+    [](const ::testing::TestParamInfo<ShapeCase>& info) {
+      return info.param.layer.name;
+    });
+
+// ---------------------------------------------------------------------------
+// ADC-resolution sweep: functional error shrinks monotonically (within
+// tolerance) as the back-end converter gains bits.
+// ---------------------------------------------------------------------------
+
+class AdcBitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdcBitsSweep, ErrorBoundedByLsbScale) {
+  const int bits = GetParam();
+  PcnnaConfig cfg = PcnnaConfig::ideal();
+  cfg.enable_quantization = true;
+  cfg.adc.bits = bits;
+  cfg.input_dac.bits = 16;
+  cfg.weight_dac.bits = 16;
+
+  nn::ConvLayerParams layer{"adc", 8, 3, 1, 1, 2, 4};
+  Rng rng(303);
+  const auto input = nn::make_input(layer, rng);
+  const auto weights = nn::make_conv_weights(layer, rng);
+  core::OpticalConvEngine engine(cfg);
+  const auto out = engine.conv2d(input, weights, {}, 1, 1);
+  const auto ref = nn::conv2d_direct(input, weights, {}, 1, 1);
+
+  const double n_kernel = static_cast<double>(layer.kernel_size());
+  const double fs = cfg.adc_headroom * std::sqrt(n_kernel);
+  const double lsb = 2.0 * fs / (std::pow(2.0, bits) - 1.0);
+  const double scale = weights.abs_max() * input.abs_max();
+  // Half-LSB quantization, times the ~1/denom electronic recovery factor,
+  // plus slack for the 16 b front end.
+  EXPECT_LT(nn::max_abs_diff(out, ref), (lsb / 2.0 + 2e-3) * scale * 1.3)
+      << bits << " bits";
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, AdcBitsSweep, ::testing::Values(6, 8, 10, 12, 16));
+
+
+// ---------------------------------------------------------------------------
+// Noise-budget property sweeps: SNR monotonicity across the design space.
+// ---------------------------------------------------------------------------
+
+
+class FanoutSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FanoutSweep, SnrDegradesMonotonicallyWithFanout) {
+  const core::NoiseBudgetModel model(PcnnaConfig::paper_defaults());
+  const std::size_t fanout = GetParam();
+  const auto narrow = model.pass_budget(64, 1, fanout, 64);
+  const auto wide = model.pass_budget(64, 1, fanout * 4, 64);
+  EXPECT_GT(narrow.snr_db, wide.snr_db) << fanout;
+  // Signal current per MAC falls linearly with the broadcast split.
+  EXPECT_GT(narrow.denom_current, wide.denom_current) << fanout;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, FanoutSweep,
+                         ::testing::Values(2, 8, 32, 96, 256));
+
+class ChannelsSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChannelsSweep, WiderBanksCollectMoreShotNoise) {
+  const core::NoiseBudgetModel model(PcnnaConfig::paper_defaults());
+  const std::size_t channels = GetParam();
+  const auto few = model.pass_budget(channels, 1, 16, channels);
+  const auto many = model.pass_budget(channels * 2, 1, 16, channels * 2);
+  EXPECT_GE(many.sigma_shot, few.sigma_shot) << channels;
+  EXPECT_GE(many.mean_branch_current, few.mean_branch_current) << channels;
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, ChannelsSweep,
+                         ::testing::Values(4, 16, 48, 96));
+
+} // namespace

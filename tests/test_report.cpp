@@ -1,0 +1,83 @@
+// Text table and CSV writers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/report.hpp"
+
+namespace {
+
+using pcnna::CsvWriter;
+using pcnna::TextTable;
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"layer", "rings"});
+  t.add_row({"conv1", "34848"});
+  t.add_row({"conv4", "3456"});
+  const std::string s = t.to_string("Fig 5");
+  EXPECT_NE(std::string::npos, s.find("Fig 5"));
+  EXPECT_NE(std::string::npos, s.find("conv1"));
+  EXPECT_NE(std::string::npos, s.find("34848"));
+  // Header separator exists.
+  EXPECT_NE(std::string::npos, s.find("+--"));
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), pcnna::Error);
+}
+
+TEST(TextTable, SeparatorRows) {
+  TextTable t({"a"});
+  t.add_row({"x"});
+  t.add_separator();
+  t.add_row({"y"});
+  const std::string s = t.to_string();
+  // 4 rules: top, under header, separator, bottom.
+  size_t rules = 0, pos = 0;
+  while ((pos = s.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos = s.find('\n', pos);
+  }
+  EXPECT_EQ(4u, rules);
+}
+
+TEST(TextTable, EmptyHeadersThrow) {
+  EXPECT_THROW(TextTable({}), pcnna::Error);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/pcnna_test.csv";
+  {
+    CsvWriter csv(path, {"layer", "value"});
+    csv.write_row({"conv1", "1.5"});
+    csv.write_row({"with,comma", "with\"quote"});
+    EXPECT_EQ(2u, csv.rows_written());
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(std::string::npos, content.find("layer,value"));
+  EXPECT_NE(std::string::npos, content.find("conv1,1.5"));
+  // RFC-4180 quoting for the awkward cells.
+  EXPECT_NE(std::string::npos, content.find("\"with,comma\""));
+  EXPECT_NE(std::string::npos, content.find("\"with\"\"quote\""));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ColumnMismatchThrows) {
+  const std::string path = ::testing::TempDir() + "/pcnna_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.write_row({"only"}), pcnna::Error);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), pcnna::Error);
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+// Ring-count and area model vs the paper's SS V-A worked numbers.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "core/ring_count.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace pcnna;
+namespace u = units;
+using core::RingAllocation;
+using core::RingCountModel;
+
+const RingCountModel model;
+
+nn::ConvLayerParams alexnet_layer(std::size_t i) {
+  return nn::alexnet_conv_layers().at(i);
+}
+
+TEST(RingCount, Eq4UnfilteredConv1IsFivePointTwoBillion) {
+  // "approximately 5.2 Billion microrings without filtering".
+  const auto conv1 = alexnet_layer(0);
+  EXPECT_EQ(150'528ull * 96ull * 363ull, model.unfiltered(conv1));
+  EXPECT_NEAR(5.2e9, static_cast<double>(model.unfiltered(conv1)), 0.05e9);
+}
+
+TEST(RingCount, Eq5FilteredConv1IsThirtyFiveThousand) {
+  // "the same number once non-receptive field values are filtered would be
+  // 35 thousand".
+  const auto conv1 = alexnet_layer(0);
+  EXPECT_EQ(96u * 363u, model.filtered(conv1));
+  EXPECT_EQ(34'848u, model.filtered(conv1));
+}
+
+TEST(RingCount, SavingsFactorIsNinput150k) {
+  // "a saving of more than 150k x" — the ratio is exactly Ninput = 150 528.
+  const auto conv1 = alexnet_layer(0);
+  EXPECT_DOUBLE_EQ(150'528.0, model.savings_factor(conv1));
+  EXPECT_GT(model.savings_factor(conv1), 150'000.0);
+}
+
+TEST(RingCount, Conv4PerChannelIs3456) {
+  // The paper's conv4 worked number (DESIGN.md inconsistency #1):
+  // 3456 = K * m * m = 384 * 9 under the per-channel allocation.
+  const auto conv4 = alexnet_layer(3);
+  EXPECT_EQ(3456u, model.filtered(conv4, RingAllocation::kPerChannel));
+  // Strict Eq. (5) gives K * Nkernel = 384 * 3456 = 1 327 104.
+  EXPECT_EQ(1'327'104u, model.filtered(conv4, RingAllocation::kFullKernel));
+}
+
+TEST(RingCount, Conv4AreaIsTwoPointTwoSquareMillimeters) {
+  // "Considering a microring size of 25um x 25um, it takes an area of
+  // 2.2mm^2 to fit all the microrings" (3456 rings).
+  const auto conv4 = alexnet_layer(3);
+  const double area =
+      model.area(model.filtered(conv4, RingAllocation::kPerChannel));
+  EXPECT_NEAR(2.2 * u::mm2, area, 0.05 * u::mm2);
+}
+
+TEST(RingCount, FilteredNeverExceedsUnfiltered) {
+  for (const auto& layer : nn::alexnet_conv_layers()) {
+    EXPECT_LE(model.filtered(layer), model.unfiltered(layer)) << layer.name;
+    EXPECT_LE(model.filtered(layer, RingAllocation::kPerChannel),
+              model.filtered(layer, RingAllocation::kFullKernel))
+        << layer.name;
+  }
+}
+
+TEST(RingCount, AllAlexNetLayersFigure5) {
+  // Full Fig. 5 dataset: filtered and unfiltered counts per layer.
+  const std::uint64_t expected_filtered[] = {34'848u, 614'400u, 884'736u,
+                                             1'327'104u, 884'736u};
+  const auto layers = nn::alexnet_conv_layers();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    EXPECT_EQ(expected_filtered[i], model.filtered(layers[i])) << layers[i].name;
+    EXPECT_EQ(layers[i].input_size() * expected_filtered[i],
+              model.unfiltered(layers[i]))
+        << layers[i].name;
+  }
+}
+
+TEST(RingCount, MaxFilteredAcrossNetworkSizesTheSharedCore) {
+  const auto layers = nn::alexnet_conv_layers();
+  // conv4 needs the most rings under Eq. (5) (it holds the most weights).
+  EXPECT_EQ(1'327'104u, model.max_filtered(layers));
+  // Under per-channel allocation conv1 dominates: K*m*m = 96*121 = 11 616.
+  EXPECT_EQ(11'616u, model.max_filtered(layers, RingAllocation::kPerChannel));
+}
+
+TEST(RingCount, AreaScalesWithPitch) {
+  const RingCountModel fine(10.0 * u::um);
+  EXPECT_NEAR(100.0 * u::um2, fine.area(1), 1e-18);
+  EXPECT_NEAR(1.0 * u::mm2, fine.area(10'000), 1e-12);
+}
+
+TEST(RingCount, RejectsBadPitch) {
+  EXPECT_THROW(RingCountModel(0.0), Error);
+}
+
+} // namespace

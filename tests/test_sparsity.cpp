@@ -1,0 +1,80 @@
+// Kernel value-sparsity analysis.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/sparsity.hpp"
+#include "nn/synth.hpp"
+
+namespace {
+
+using namespace pcnna;
+using core::SparsityAnalyzer;
+using core::SparsityStats;
+using nn::Shape4;
+using nn::Tensor;
+
+TEST(Sparsity, DenseTensorHasZeroSparsity) {
+  Tensor w(Shape4{2, 2, 3, 3});
+  w.fill(0.5);
+  const SparsityStats stats = SparsityAnalyzer().analyze(w);
+  EXPECT_EQ(36u, stats.total_weights);
+  EXPECT_EQ(36u, stats.nonzero_weights);
+  EXPECT_DOUBLE_EQ(0.0, stats.sparsity);
+  EXPECT_EQ(36u, stats.pruned_rings);
+  EXPECT_EQ(18u, stats.max_nonzero_per_kernel * 1u); // 18 per kernel
+}
+
+TEST(Sparsity, AllZeroTensorIsFullySparse) {
+  Tensor w(Shape4{2, 1, 2, 2});
+  const SparsityStats stats = SparsityAnalyzer().analyze(w);
+  EXPECT_DOUBLE_EQ(1.0, stats.sparsity);
+  EXPECT_EQ(0u, stats.pruned_rings);
+  EXPECT_EQ(0u, stats.pruned_rings_uniform);
+}
+
+TEST(Sparsity, CountsExactZerosPerKernel) {
+  Tensor w(Shape4{2, 1, 2, 2}, {1.0, 0.0, 2.0, 0.0, /* kernel 1 */
+                                0.0, 0.0, 0.0, 3.0 /* kernel 2 */});
+  const SparsityStats stats = SparsityAnalyzer().analyze(w);
+  EXPECT_EQ(3u, stats.nonzero_weights);
+  EXPECT_EQ(2u, stats.max_nonzero_per_kernel);
+  EXPECT_NEAR(5.0 / 8.0, stats.sparsity, 1e-12);
+  // Uniform layout provisions the densest kernel for both: 2 * 2.
+  EXPECT_EQ(4u, stats.pruned_rings_uniform);
+  EXPECT_EQ(3u, stats.pruned_rings);
+}
+
+TEST(Sparsity, ThresholdPrunesSmallWeights) {
+  Tensor w(Shape4{1, 1, 2, 2}, {0.05, -0.2, 0.009, 0.5});
+  EXPECT_EQ(4u, SparsityAnalyzer(0.0).analyze(w).nonzero_weights);
+  EXPECT_EQ(3u, SparsityAnalyzer(0.01).analyze(w).nonzero_weights);
+  EXPECT_EQ(2u, SparsityAnalyzer(0.1).analyze(w).nonzero_weights);
+  EXPECT_EQ(0u, SparsityAnalyzer(1.0).analyze(w).nonzero_weights);
+}
+
+TEST(Sparsity, SyntheticSparseGeneratorRoundTrips) {
+  Rng rng(8);
+  Tensor w(Shape4{8, 4, 3, 3});
+  nn::fill_sparse_gaussian(w, rng, 1.0, 0.6);
+  const SparsityStats stats = SparsityAnalyzer().analyze(w);
+  EXPECT_NEAR(0.6, stats.sparsity, 0.1);
+  EXPECT_LE(stats.pruned_rings, stats.pruned_rings_uniform);
+  EXPECT_LE(stats.pruned_rings_uniform, stats.total_weights);
+}
+
+TEST(Sparsity, HeaterPowerSavedScalesWithPrunedRings) {
+  const core::PcnnaConfig cfg = core::PcnnaConfig::paper_defaults();
+  Tensor w(Shape4{1, 1, 2, 2}, {1.0, 0.0, 0.0, 0.0});
+  const SparsityAnalyzer analyzer;
+  const SparsityStats stats = analyzer.analyze(w);
+  const double per_ring =
+      0.5 * cfg.bank.ring.max_detuning / cfg.bank.ring.thermal_efficiency;
+  EXPECT_NEAR(3.0 * per_ring, analyzer.heater_power_saved(cfg, stats), 1e-12);
+}
+
+TEST(Sparsity, EmptyTensorThrows) {
+  EXPECT_THROW(SparsityAnalyzer().analyze(Tensor{}), Error);
+  EXPECT_THROW(SparsityAnalyzer(-0.1), Error);
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+// Synthetic data generators.
+#include <gtest/gtest.h>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "nn/models.hpp"
+#include "nn/synth.hpp"
+
+namespace {
+
+using namespace pcnna;
+using nn::Shape4;
+using nn::Tensor;
+
+TEST(Synth, GaussianFillStatistics) {
+  Rng rng(1);
+  Tensor t(Shape4{1, 1, 100, 100});
+  nn::fill_gaussian(t, rng, 1.5, 0.5);
+  EXPECT_NEAR(1.5, mean(t.data()), 0.02);
+  EXPECT_NEAR(0.5, stddev(t.data()), 0.02);
+}
+
+TEST(Synth, UniformFillBounds) {
+  Rng rng(2);
+  Tensor t(Shape4{1, 1, 50, 50});
+  nn::fill_uniform(t, rng, -2.0, 3.0);
+  EXPECT_GE(t.min(), -2.0);
+  EXPECT_LT(t.max(), 3.0);
+  EXPECT_NEAR(0.5, mean(t.data()), 0.1);
+}
+
+TEST(Synth, SparseGaussianZeroFraction) {
+  Rng rng(3);
+  Tensor t(Shape4{1, 1, 100, 100});
+  nn::fill_sparse_gaussian(t, rng, 1.0, 0.7);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < t.size(); ++i)
+    if (t[i] == 0.0) ++zeros;
+  EXPECT_NEAR(0.7, static_cast<double>(zeros) / t.size(), 0.03);
+}
+
+TEST(Synth, ConvWeightsUseHeScaling) {
+  Rng rng(4);
+  nn::ConvLayerParams layer{"t", 16, 3, 1, 1, 8, 32};
+  const Tensor w = nn::make_conv_weights(layer, rng);
+  EXPECT_EQ((Shape4{32, 8, 3, 3}), w.shape());
+  const double expected = std::sqrt(2.0 / static_cast<double>(layer.kernel_size()));
+  EXPECT_NEAR(expected, stddev(w.data()), expected * 0.1);
+  EXPECT_NEAR(0.0, mean(w.data()), expected * 0.1);
+}
+
+TEST(Synth, InputIsNonNegativeUnitRange) {
+  Rng rng(5);
+  nn::ConvLayerParams layer{"t", 16, 3, 1, 1, 8, 32};
+  const Tensor x = nn::make_input(layer, rng);
+  EXPECT_EQ((Shape4{1, 8, 16, 16}), x.shape());
+  EXPECT_GE(x.min(), 0.0);
+  EXPECT_LT(x.max(), 1.0);
+}
+
+TEST(Synth, NetworkWeightsCoverEveryParameterizedOp) {
+  Rng rng(6);
+  const nn::Network net = nn::tiny_cnn();
+  const auto w = nn::make_network_weights(net, rng);
+  ASSERT_EQ(net.ops().size(), w.weight.size());
+  ASSERT_EQ(net.ops().size(), w.bias.size());
+  for (std::size_t i = 0; i < net.ops().size(); ++i) {
+    const bool parameterized =
+        net.ops()[i].kind == nn::OpKind::kConv ||
+        net.ops()[i].kind == nn::OpKind::kFullyConnected;
+    EXPECT_EQ(parameterized, !w.weight[i].empty()) << "op " << i;
+  }
+}
+
+TEST(Synth, FcWeightShapeFollowsFlattenedInput) {
+  Rng rng(7);
+  nn::Network net("t", Shape4{1, 2, 4, 4});
+  net.add_conv({"c", 4, 3, 1, 1, 2, 3}); // -> [1, 3, 4, 4] = 48 values
+  net.add_fc(5);
+  const auto w = nn::make_network_weights(net, rng);
+  EXPECT_EQ((Shape4{5, 48, 1, 1}), w.weight[1].shape());
+}
+
+TEST(Synth, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  nn::ConvLayerParams layer{"t", 8, 3, 1, 1, 2, 2};
+  EXPECT_EQ(nn::make_conv_weights(layer, a), nn::make_conv_weights(layer, b));
+}
+
+} // namespace

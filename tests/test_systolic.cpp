@@ -1,0 +1,75 @@
+// Systolic-array (TPU-class) baseline model.
+#include <gtest/gtest.h>
+
+#include "baselines/eyeriss.hpp"
+#include "baselines/systolic.hpp"
+#include "common/units.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace pcnna;
+namespace u = units;
+using baselines::SystolicConfig;
+using baselines::SystolicModel;
+
+nn::ConvLayerParams alexnet_layer(std::size_t i) {
+  return nn::alexnet_conv_layers().at(i);
+}
+
+TEST(Systolic, TilesCoverTheWeightMatrix) {
+  const SystolicModel model;
+  // conv3: Nkernel = 2304 -> 9 row tiles; K = 384 -> 2 col tiles.
+  EXPECT_EQ(18u, model.tiles(alexnet_layer(2)));
+  // conv1: Nkernel = 363 -> 2 x 1.
+  EXPECT_EQ(2u, model.tiles(alexnet_layer(0)));
+}
+
+TEST(Systolic, UtilizationWithinUnitInterval) {
+  const SystolicModel model;
+  for (const auto& layer : nn::alexnet_conv_layers()) {
+    const double util = model.utilization(layer);
+    EXPECT_GT(util, 0.0) << layer.name;
+    EXPECT_LE(util, 1.0) << layer.name;
+  }
+}
+
+TEST(Systolic, SmallLayersWasteTheArray) {
+  const SystolicModel model;
+  // LeNet c1: 25 x 6 weights on a 256 x 256 array.
+  const auto lenet_c1 = nn::lenet5_conv_layers()[0];
+  EXPECT_LT(model.utilization(lenet_c1), 0.01);
+  // AlexNet conv4 (3456 x 384) fills its tiles far better.
+  EXPECT_GT(model.utilization(alexnet_layer(3)), 0.5);
+}
+
+TEST(Systolic, LayerTimeMatchesClosedForm) {
+  const SystolicModel model;
+  const auto conv3 = alexnet_layer(2);
+  const double cycles =
+      static_cast<double>(model.tiles(conv3)) * (169.0 + 256.0 + 256.0);
+  EXPECT_NEAR(cycles / (700.0 * u::MHz * 0.85), model.layer_time(conv3),
+              1e-12);
+}
+
+TEST(Systolic, BeatsEyerissOnLargeLayersHasMorePes) {
+  // A 64k-MAC array should outrun the 168-PE Eyeriss on the big layers.
+  const SystolicModel systolic;
+  const baselines::EyerissModel eyeriss;
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_LT(systolic.layer_time(alexnet_layer(i)),
+              eyeriss.layer_time(alexnet_layer(i)))
+        << alexnet_layer(i).name;
+  }
+}
+
+TEST(Systolic, RejectsBadConfig) {
+  SystolicConfig cfg;
+  cfg.rows = 0;
+  EXPECT_THROW(SystolicModel{cfg}, Error);
+  cfg = {};
+  cfg.efficiency = 1.5;
+  EXPECT_THROW(SystolicModel{cfg}, Error);
+}
+
+} // namespace

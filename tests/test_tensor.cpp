@@ -1,0 +1,78 @@
+// NCHW tensor.
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hpp"
+
+namespace {
+
+using pcnna::nn::Shape4;
+using pcnna::nn::Tensor;
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape4{1, 2, 3, 4});
+  EXPECT_EQ(24u, t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(0.0, t[i]);
+}
+
+TEST(Tensor, RowMajorNchwIndexing) {
+  Tensor t(Shape4{2, 3, 4, 5});
+  // index(n,c,h,w) = ((n*C + c)*H + h)*W + w
+  EXPECT_EQ(0u, t.index(0, 0, 0, 0));
+  EXPECT_EQ(1u, t.index(0, 0, 0, 1));
+  EXPECT_EQ(5u, t.index(0, 0, 1, 0));
+  EXPECT_EQ(20u, t.index(0, 1, 0, 0));
+  EXPECT_EQ(60u, t.index(1, 0, 0, 0));
+  EXPECT_EQ(t.size() - 1, t.index(1, 2, 3, 4));
+}
+
+TEST(Tensor, AtReadsAndWrites) {
+  Tensor t(Shape4{1, 2, 2, 2});
+  t.at(0, 1, 1, 0) = 42.0;
+  EXPECT_DOUBLE_EQ(42.0, t.at(0, 1, 1, 0));
+  EXPECT_DOUBLE_EQ(42.0, t[t.index(0, 1, 1, 0)]);
+}
+
+TEST(Tensor, ConstructFromData) {
+  Tensor t(Shape4{1, 1, 2, 2}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(3.0, t.at(0, 0, 1, 0));
+}
+
+TEST(Tensor, DataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape4{1, 1, 2, 2}, {1.0}), pcnna::Error);
+}
+
+TEST(Tensor, MinMaxAbsMax) {
+  Tensor t(Shape4{1, 1, 1, 4}, {-5.0, 2.0, 3.0, -1.0});
+  EXPECT_DOUBLE_EQ(-5.0, t.min());
+  EXPECT_DOUBLE_EQ(3.0, t.max());
+  EXPECT_DOUBLE_EQ(5.0, t.abs_max());
+}
+
+TEST(Tensor, Fill) {
+  Tensor t(Shape4{1, 1, 2, 2});
+  t.fill(7.5);
+  EXPECT_DOUBLE_EQ(7.5, t.min());
+  EXPECT_DOUBLE_EQ(7.5, t.max());
+}
+
+TEST(Tensor, ShapeEquality) {
+  EXPECT_EQ((Shape4{1, 2, 3, 4}), (Shape4{1, 2, 3, 4}));
+  EXPECT_NE((Shape4{1, 2, 3, 4}), (Shape4{1, 2, 4, 3}));
+  EXPECT_EQ(24u, (Shape4{1, 2, 3, 4}).elements());
+}
+
+TEST(Tensor, EqualityComparesShapeAndData) {
+  Tensor a(Shape4{1, 1, 1, 2}, {1.0, 2.0});
+  Tensor b(Shape4{1, 1, 1, 2}, {1.0, 2.0});
+  Tensor c(Shape4{1, 1, 2, 1}, {1.0, 2.0});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(0u, t.size());
+}
+
+} // namespace

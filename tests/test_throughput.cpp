@@ -1,0 +1,110 @@
+// Multi-core layer-pipelined throughput model.
+#include <gtest/gtest.h>
+
+#include "core/throughput.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace pcnna;
+using core::PcnnaConfig;
+using core::ThroughputModel;
+using core::ThroughputReport;
+
+const std::vector<nn::ConvLayerParams>& alexnet() {
+  static const auto layers = nn::alexnet_conv_layers();
+  return layers;
+}
+
+TEST(Throughput, SingleCoreIntervalEqualsLatency) {
+  const ThroughputModel model(PcnnaConfig::paper_defaults());
+  const ThroughputReport r = model.pipeline(alexnet(), 1);
+  EXPECT_EQ(1u, r.cores);
+  EXPECT_DOUBLE_EQ(r.latency, r.interval);
+  EXPECT_DOUBLE_EQ(1.0, r.throughput_speedup);
+  ASSERT_EQ(1u, r.stages.size());
+  EXPECT_EQ(0u, r.stages[0].first);
+  EXPECT_EQ(4u, r.stages[0].second);
+}
+
+TEST(Throughput, StagesPartitionAllLayersContiguously) {
+  const ThroughputModel model(PcnnaConfig::paper_defaults());
+  for (std::size_t cores : {2u, 3u, 4u, 5u}) {
+    const ThroughputReport r = model.pipeline(alexnet(), cores);
+    ASSERT_EQ(cores, r.stages.size()) << cores;
+    EXPECT_EQ(0u, r.stages.front().first);
+    EXPECT_EQ(alexnet().size() - 1, r.stages.back().second);
+    for (std::size_t i = 1; i < r.stages.size(); ++i) {
+      EXPECT_EQ(r.stages[i - 1].second + 1, r.stages[i].first) << cores;
+    }
+  }
+}
+
+TEST(Throughput, IntervalIsMaxStageTime) {
+  const ThroughputModel model(PcnnaConfig::paper_defaults());
+  const ThroughputReport r = model.pipeline(alexnet(), 3);
+  double mx = 0.0, sum = 0.0;
+  for (double t : r.stage_times) {
+    mx = std::max(mx, t);
+    sum += t;
+  }
+  EXPECT_DOUBLE_EQ(mx, r.interval);
+  EXPECT_NEAR(sum, r.latency, 1e-15);
+}
+
+TEST(Throughput, MoreCoresNeverSlower) {
+  const ThroughputModel model(PcnnaConfig::paper_defaults());
+  double prev = 0.0;
+  for (std::size_t cores = 1; cores <= 5; ++cores) {
+    const ThroughputReport r = model.pipeline(alexnet(), cores);
+    EXPECT_GE(r.images_per_second(), prev) << cores;
+    prev = r.images_per_second();
+  }
+}
+
+TEST(Throughput, LatencyUnchangedByPipelining) {
+  const ThroughputModel model(PcnnaConfig::paper_defaults());
+  const double latency1 = model.pipeline(alexnet(), 1).latency;
+  const double latency5 = model.pipeline(alexnet(), 5).latency;
+  EXPECT_DOUBLE_EQ(latency1, latency5);
+}
+
+TEST(Throughput, FiveCoresBoundedByLargestLayer) {
+  const ThroughputModel model(PcnnaConfig::paper_defaults());
+  const ThroughputReport r = model.pipeline(alexnet(), 5);
+  // One layer per core: interval = slowest single layer (conv1, 6.66 us).
+  double slowest = 0.0;
+  for (double t : r.stage_times) slowest = std::max(slowest, t);
+  EXPECT_DOUBLE_EQ(slowest, r.interval);
+  EXPECT_GT(r.throughput_speedup, 2.0);
+  EXPECT_LE(r.throughput_speedup, 5.0);
+}
+
+TEST(Throughput, MoreCoresThanLayersClamps) {
+  const ThroughputModel model(PcnnaConfig::paper_defaults());
+  const ThroughputReport r = model.pipeline(alexnet(), 100);
+  EXPECT_EQ(alexnet().size(), r.cores);
+}
+
+TEST(Throughput, OptimalBeatsNaiveEvenSplit) {
+  // The DP must never be worse than splitting layers evenly by count.
+  const ThroughputModel model(PcnnaConfig::paper_defaults());
+  const ThroughputReport r = model.pipeline(alexnet(), 2);
+  // Naive split 0..1 / 2..4 or 0..2 / 3..4 — compute both by hand.
+  core::TimingModel timing(PcnnaConfig::paper_defaults(),
+                           core::TimingFidelity::kPaper);
+  std::vector<double> t;
+  for (const auto& layer : alexnet())
+    t.push_back(timing.layer_time(layer).full_system_time);
+  const double split_a = std::max(t[0] + t[1], t[2] + t[3] + t[4]);
+  const double split_b = std::max(t[0] + t[1] + t[2], t[3] + t[4]);
+  EXPECT_LE(r.interval, std::min(split_a, split_b) + 1e-15);
+}
+
+TEST(Throughput, EmptyOrZeroArgsThrow) {
+  const ThroughputModel model(PcnnaConfig::paper_defaults());
+  EXPECT_THROW(model.pipeline({}, 2), Error);
+  EXPECT_THROW(model.pipeline(alexnet(), 0), Error);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+// Execution-time model vs the paper's Eqs. (6)-(8) and Fig. 6 claims.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "core/timing_model.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace pcnna;
+namespace u = units;
+using core::PcnnaConfig;
+using core::TimingFidelity;
+using core::TimingModel;
+
+nn::ConvLayerParams alexnet_layer(std::size_t i) {
+  return nn::alexnet_conv_layers().at(i);
+}
+
+TimingModel paper_model() {
+  return TimingModel(PcnnaConfig::paper_defaults(), TimingFidelity::kPaper);
+}
+
+TEST(TimingPaper, Eq7OpticalCoreTime) {
+  // Tconv = Nlocs / fclock: conv1 = 3025 / 5 GHz = 605 ns.
+  const auto t = paper_model().layer_time(alexnet_layer(0));
+  EXPECT_EQ(3025u, t.locations);
+  EXPECT_NEAR(605.0 * u::ns, t.optical_core_time, 1e-12);
+  // conv3-5: 169 cycles = 33.8 ns.
+  const auto t3 = paper_model().layer_time(alexnet_layer(2));
+  EXPECT_NEAR(33.8 * u::ns, t3.optical_core_time, 1e-12);
+}
+
+TEST(TimingPaper, Eq8UpdatedInputsPerDacWorkedExample) {
+  // "nc x m x s / NDAC = 384*3*1/10 ~ 116" (conv4/conv5 input shape).
+  const TimingModel model = paper_model();
+  EXPECT_NEAR(115.2, model.updated_inputs_per_dac(alexnet_layer(3)), 1e-12);
+  EXPECT_NEAR(116.0, model.updated_inputs_per_dac(alexnet_layer(3)), 1.0);
+}
+
+TEST(TimingPaper, OpticalTimeIndependentOfKernelCount) {
+  // Eq. (7) commentary: "Tconv ... is independent of the number of kernels".
+  nn::ConvLayerParams base{"k", 32, 3, 1, 1, 16, 8};
+  const TimingModel model = paper_model();
+  const double t8 = model.layer_time(base).optical_core_time;
+  base.K = 512;
+  const double t512 = model.layer_time(base).optical_core_time;
+  EXPECT_DOUBLE_EQ(t8, t512);
+}
+
+TEST(TimingPaper, DacBoundLayersAreSlowerThanOpticalCore) {
+  const TimingModel model = paper_model();
+  for (const auto& layer : nn::alexnet_conv_layers()) {
+    const auto t = model.layer_time(layer);
+    EXPECT_GE(t.full_system_time, t.optical_core_time) << layer.name;
+  }
+}
+
+TEST(TimingPaper, BottleneckIsInputDacForDeepLayers) {
+  const TimingModel model = paper_model();
+  // conv2-conv5 have nc*m*s/10 DAC conversions per location taking far more
+  // than the 200 ps optical cycle.
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_EQ("input-DAC", model.layer_time(alexnet_layer(i)).bottleneck)
+        << alexnet_layer(i).name;
+  }
+}
+
+TEST(TimingPaper, FullSystemTimeMatchesClosedForm) {
+  // conv4: fill (3456/10/6GHz) + 169 x (115.2/6GHz).
+  const auto t = paper_model().layer_time(alexnet_layer(3));
+  const double fill = 3456.0 / 10.0 / (6.0 * u::GSa);
+  const double per_loc = 115.2 / (6.0 * u::GSa);
+  EXPECT_NEAR(fill + 169.0 * per_loc, t.full_system_time, 1e-12);
+}
+
+TEST(TimingPaper, MoreDacsReduceFullSystemTime) {
+  PcnnaConfig cfg = PcnnaConfig::paper_defaults();
+  double prev = 1e9;
+  for (std::size_t ndac : {1u, 2u, 5u, 10u, 20u, 40u}) {
+    cfg.num_input_dacs = ndac;
+    const TimingModel model(cfg, TimingFidelity::kPaper);
+    const double t = model.layer_time(alexnet_layer(3)).full_system_time;
+    EXPECT_LT(t, prev) << ndac;
+    prev = t;
+  }
+}
+
+TEST(TimingPaper, EnoughDacsHitOpticalFloor) {
+  PcnnaConfig cfg = PcnnaConfig::paper_defaults();
+  cfg.num_input_dacs = 100'000;
+  const TimingModel model(cfg, TimingFidelity::kPaper);
+  const auto conv3 = alexnet_layer(2);
+  const auto t = model.layer_time(conv3);
+  EXPECT_EQ("optical-clock", t.bottleneck);
+  // Full time approaches Nlocs / fclock (plus negligible fill).
+  EXPECT_NEAR(t.optical_core_time, t.full_system_time,
+              0.05 * t.optical_core_time);
+}
+
+TEST(TimingPaper, NetworkTotalsSumLayers) {
+  const TimingModel model = paper_model();
+  const auto net = model.network_time(nn::alexnet_conv_layers());
+  ASSERT_EQ(5u, net.layers.size());
+  double opt = 0.0, full = 0.0;
+  for (const auto& t : net.layers) {
+    opt += t.optical_core_time;
+    full += t.full_system_time;
+  }
+  EXPECT_DOUBLE_EQ(opt, net.total_optical_core);
+  EXPECT_DOUBLE_EQ(full, net.total_full_system);
+}
+
+TEST(TimingFull, IncludesWeightLoadAndSettling) {
+  const TimingModel model(PcnnaConfig::paper_defaults(), TimingFidelity::kFull);
+  const auto t = model.layer_time(alexnet_layer(3));
+  // 1.33M weights through a 6 GSa/s DAC plus one 10 us settle.
+  const double expected =
+      1'327'104.0 / (6.0 * u::GSa) + 10.0 * u::us;
+  EXPECT_NEAR(expected, t.weight_load_time, 1e-9);
+  EXPECT_GT(t.full_system_time, t.weight_load_time);
+}
+
+TEST(TimingFull, OpticalTimeIncludesWdmSegmentation) {
+  const TimingModel model(PcnnaConfig::paper_defaults(), TimingFidelity::kFull);
+  // conv3: 24 passes x 169 locations at 5 GHz.
+  const auto t = model.layer_time(alexnet_layer(2));
+  EXPECT_NEAR(24.0 * 169.0 / (5.0 * u::GHz), t.optical_core_time, 1e-15);
+}
+
+TEST(TimingFull, FullAlwaysAtLeastPaper) {
+  const TimingModel paper(PcnnaConfig::paper_defaults(), TimingFidelity::kPaper);
+  const TimingModel full(PcnnaConfig::paper_defaults(), TimingFidelity::kFull);
+  for (const auto& layer : nn::alexnet_conv_layers()) {
+    EXPECT_GE(full.layer_time(layer).full_system_time,
+              paper.layer_time(layer).full_system_time)
+        << layer.name;
+  }
+}
+
+TEST(TimingFull, ReportsNonzeroStageTimes) {
+  const TimingModel model(PcnnaConfig::paper_defaults(), TimingFidelity::kFull);
+  const auto t = model.layer_time(alexnet_layer(1));
+  EXPECT_GT(t.dac_time, 0.0);
+  EXPECT_GT(t.adc_time, 0.0);
+  EXPECT_GT(t.sram_time, 0.0);
+  EXPECT_GT(t.dram_time, 0.0);
+  EXPECT_FALSE(t.bottleneck.empty());
+}
+
+TEST(TimingFull, PerChannelAllocationIsSlower) {
+  PcnnaConfig full_cfg = PcnnaConfig::paper_defaults();
+  PcnnaConfig pc_cfg = PcnnaConfig::paper_defaults();
+  pc_cfg.allocation = core::RingAllocation::kPerChannel;
+  const TimingModel full(full_cfg, TimingFidelity::kFull);
+  const TimingModel pc(pc_cfg, TimingFidelity::kFull);
+  const auto conv4 = alexnet_layer(3);
+  // nc sequential channel passes plus per-pass retuning dominate.
+  EXPECT_GT(pc.layer_time(conv4).full_system_time,
+            full.layer_time(conv4).full_system_time);
+  EXPECT_GT(pc.layer_time(conv4).optical_core_time,
+            full.layer_time(conv4).optical_core_time);
+}
+
+TEST(TimingFull, SettlingCostScalesWithRecalibrations) {
+  PcnnaConfig cfg = PcnnaConfig::paper_defaults();
+  cfg.allocation = core::RingAllocation::kPerChannel;
+  const TimingModel model(cfg, TimingFidelity::kFull);
+  const auto conv4 = alexnet_layer(3);
+  const auto t = model.layer_time(conv4);
+  // 384 retunings x 10 us settle = 3.84 ms of settling alone.
+  EXPECT_GT(t.weight_load_time, 384.0 * 10.0 * u::us - 1e-9);
+}
+
+} // namespace

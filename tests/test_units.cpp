@@ -1,0 +1,43 @@
+// Units and physical constants.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace u = pcnna::units;
+
+TEST(Units, TimeScales) {
+  EXPECT_DOUBLE_EQ(1e-3, u::ms);
+  EXPECT_DOUBLE_EQ(1e-6, u::us);
+  EXPECT_DOUBLE_EQ(1e-9, u::ns);
+  EXPECT_DOUBLE_EQ(1e-12, u::ps);
+  EXPECT_DOUBLE_EQ(5.0e9, 5.0 * u::GHz);
+}
+
+TEST(Units, PaperComponentSpecs) {
+  // The paper's headline component numbers expressed in base units.
+  EXPECT_DOUBLE_EQ(6.0e9, 6.0 * u::GSa);          // input DAC rate [16]
+  EXPECT_DOUBLE_EQ(2.8e9, 2.8 * u::GSa);          // ADC rate [17]
+  EXPECT_DOUBLE_EQ(7.0e-9, 7.0 * u::ns);          // SRAM access [15]
+  EXPECT_DOUBLE_EQ(25.0e-6, 25.0 * u::um);        // ring pitch [10]
+  EXPECT_DOUBLE_EQ(0.443e-6, 0.443 * u::mm2);     // SRAM area [15]
+  EXPECT_DOUBLE_EQ(128.0e3, 128.0 * u::kb);       // SRAM capacity [15]
+}
+
+TEST(Units, AreaScales) {
+  // 25 um x 25 um ring = 625 um^2; 3456 of them = 2.16 mm^2 (paper SS V-A).
+  const double ring = (25.0 * u::um) * (25.0 * u::um);
+  EXPECT_NEAR(625.0 * u::um2, ring, 1e-18);
+  EXPECT_NEAR(2.16 * u::mm2, 3456 * ring, 0.005 * u::mm2);
+}
+
+TEST(Units, PhysicalConstants) {
+  EXPECT_NEAR(3.0e8, u::c0, 0.01e8);
+  EXPECT_GT(u::q_e, 1.6e-19);
+  EXPECT_LT(u::q_e, 1.61e-19);
+  EXPECT_NEAR(1.38e-23, u::k_B, 0.01e-23);
+}
+
+TEST(Units, InformationSizes) {
+  EXPECT_DOUBLE_EQ(8.0, u::byte);
+  EXPECT_DOUBLE_EQ(8.0 * 1024.0, u::KiB);
+}

@@ -1,0 +1,61 @@
+// Waveguide propagation and broadcast losses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+#include "common/units.hpp"
+#include "photonics/waveguide.hpp"
+
+namespace {
+
+using namespace pcnna;
+namespace u = units;
+
+TEST(Waveguide, PropagationLossPerCm) {
+  phot::WaveguideConfig cfg;
+  cfg.propagation_loss_db_per_cm = 2.0;
+  phot::Waveguide wg(cfg);
+  EXPECT_NEAR(from_db(-2.0), wg.propagation_factor(1e-2), 1e-12);
+  EXPECT_NEAR(from_db(-4.0), wg.propagation_factor(2e-2), 1e-12);
+  EXPECT_DOUBLE_EQ(1.0, wg.propagation_factor(0.0));
+}
+
+TEST(Waveguide, BroadcastSplitsPowerEvenly) {
+  phot::WaveguideConfig cfg;
+  cfg.splitter_excess_loss_db = 0.0;
+  phot::Waveguide wg(cfg);
+  EXPECT_DOUBLE_EQ(1.0, wg.broadcast_factor(1));
+  EXPECT_NEAR(0.5, wg.broadcast_factor(2), 1e-12);
+  EXPECT_NEAR(0.25, wg.broadcast_factor(4), 1e-12);
+  EXPECT_NEAR(1.0 / 96.0, wg.broadcast_factor(96), 1e-12);
+}
+
+TEST(Waveguide, BroadcastExcessLossPerStage) {
+  phot::WaveguideConfig cfg;
+  cfg.splitter_excess_loss_db = 0.1;
+  phot::Waveguide wg(cfg);
+  // 8-way = 3 stages -> 0.3 dB excess on top of the 1/8 split.
+  EXPECT_NEAR(from_db(-0.3) / 8.0, wg.broadcast_factor(8), 1e-12);
+  // Non-power-of-two rounds stages up: 5-way -> ceil(log2 5) = 3 stages.
+  EXPECT_NEAR(from_db(-0.3) / 5.0, wg.broadcast_factor(5), 1e-12);
+}
+
+TEST(Waveguide, EnergyConservation) {
+  // Total delivered power across outputs never exceeds the input.
+  phot::Waveguide wg{phot::WaveguideConfig{}};
+  for (std::size_t fanout : {1u, 2u, 3u, 16u, 96u, 384u}) {
+    EXPECT_LE(wg.broadcast_factor(fanout) * static_cast<double>(fanout),
+              1.0 + 1e-12)
+        << fanout;
+  }
+}
+
+TEST(Waveguide, RejectsBadArgs) {
+  phot::Waveguide wg{phot::WaveguideConfig{}};
+  EXPECT_THROW(wg.propagation_factor(-1.0), Error);
+  EXPECT_THROW(wg.broadcast_factor(0), Error);
+}
+
+} // namespace

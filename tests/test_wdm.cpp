@@ -1,0 +1,77 @@
+// WDM grid and optical signals.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "photonics/optical_signal.hpp"
+#include "photonics/wdm.hpp"
+
+namespace {
+
+using namespace pcnna;
+namespace u = units;
+
+TEST(WdmGrid, UniformSpacing) {
+  phot::WdmGrid grid(8, 1550.0 * u::nm, 0.8 * u::nm);
+  EXPECT_EQ(8u, grid.channels());
+  EXPECT_DOUBLE_EQ(1550.0 * u::nm, grid.wavelength(0));
+  EXPECT_NEAR(1550.8 * u::nm, grid.wavelength(1), 1e-18);
+  EXPECT_NEAR(1555.6 * u::nm, grid.wavelength(7), 1e-18);
+  EXPECT_NEAR(0.8 * u::nm * 7, grid.span(), 1e-18);
+}
+
+TEST(WdmGrid, FrequencyMatchesC0OverLambda) {
+  phot::WdmGrid grid(2);
+  EXPECT_NEAR(u::c0 / (1550.0 * u::nm), grid.frequency(0), 1e3);
+  // ~100 GHz channel spacing at 0.8 nm around 1550 nm.
+  const double df = grid.frequency(0) - grid.frequency(1);
+  EXPECT_NEAR(100.0 * u::GHz, df, 1.0 * u::GHz);
+}
+
+TEST(WdmGrid, WavelengthsVectorMatches) {
+  phot::WdmGrid grid(4);
+  const auto ws = grid.wavelengths();
+  ASSERT_EQ(4u, ws.size());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(grid.wavelength(i), ws[i]);
+}
+
+TEST(WdmGrid, RejectsDegenerateConfigs) {
+  EXPECT_THROW(phot::WdmGrid(0), Error);
+  EXPECT_THROW(phot::WdmGrid(4, 0.0), Error);
+  EXPECT_THROW(phot::WdmGrid(4, 1550 * u::nm, 0.0), Error);
+}
+
+TEST(WdmSignal, TotalPowerSums) {
+  phot::WdmSignal sig(3);
+  sig[0] = 1e-3;
+  sig[1] = 2e-3;
+  sig[2] = 0.5e-3;
+  EXPECT_NEAR(3.5e-3, sig.total_power(), 1e-15);
+}
+
+TEST(WdmSignal, AttenuationInDb) {
+  phot::WdmSignal sig(2);
+  sig[0] = 1.0;
+  sig[1] = 2.0;
+  sig.attenuate_db(3.0103); // ~half power
+  EXPECT_NEAR(0.5, sig[0], 1e-4);
+  EXPECT_NEAR(1.0, sig[1], 2e-4);
+}
+
+TEST(WdmSignal, NegativePowerRejected) {
+  EXPECT_THROW(phot::WdmSignal({1.0, -0.5}), Error);
+  phot::WdmSignal sig(1);
+  EXPECT_THROW(sig.attenuate_db(-1.0), Error);
+  EXPECT_THROW(sig.scale(-2.0), Error);
+}
+
+TEST(WdmSignal, ScaleIsLinear) {
+  phot::WdmSignal sig(2);
+  sig[0] = 1.0;
+  sig[1] = 4.0;
+  sig.scale(0.25);
+  EXPECT_DOUBLE_EQ(0.25, sig[0]);
+  EXPECT_DOUBLE_EQ(1.0, sig[1]);
+}
+
+} // namespace
