@@ -58,6 +58,11 @@ class Accelerator {
 
   const PcnnaConfig& config() const { return config_; }
 
+  /// Reseed the functional engine's noise/fabrication RNG. The batch
+  /// runtime calls this with a per-request seed before each run() so that
+  /// results are independent of request ordering and PCU assignment.
+  void reseed_engine(std::uint64_t seed) { engine_.reseed_rng(seed); }
+
   /// Run one conv layer functionally on the optical core.
   nn::Tensor run_conv(const nn::Tensor& input, const nn::Tensor& weights,
                       const nn::Tensor& bias, std::size_t stride,

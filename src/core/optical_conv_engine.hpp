@@ -71,6 +71,11 @@ class OpticalConvEngine {
   /// runs bit-identical).
   void reset_rng() { rng_.reseed(config_.seed); }
 
+  /// Reseed the noise/fabrication RNG to an explicit seed. The batch runtime
+  /// reseeds per request so a request's output is the same no matter which
+  /// PCU serves it or in what order.
+  void reseed_rng(std::uint64_t seed) { rng_.reseed(seed); }
+
  private:
   nn::Tensor run_full_kernel(const LayerPlan& plan, const nn::Tensor& input,
                              const nn::Tensor& weights, const nn::Tensor& bias,

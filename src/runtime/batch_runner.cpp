@@ -1,0 +1,144 @@
+#include "runtime/batch_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+#include "common/format.hpp"
+#include "common/report.hpp"
+
+namespace pcnna::runtime {
+
+BatchRunner::BatchRunner(core::PcnnaConfig config, nn::Network net,
+                         nn::NetWeights weights, BatchRunnerOptions options)
+    : config_(std::move(config)),
+      net_(std::move(net)),
+      weights_(std::move(weights)),
+      options_(options),
+      pool_(options.num_pcus, config_, options.fidelity, net_, weights_) {}
+
+std::vector<RequestResult> BatchRunner::run(
+    const std::vector<nn::Tensor>& inputs, FleetReport* report) {
+  const std::size_t batch = inputs.size();
+
+  RequestQueue queue;
+  for (std::size_t id = 0; id < batch; ++id) {
+    InferenceRequest request;
+    request.id = id;
+    request.seed = derive_request_seed(options_.seed, id);
+    request.input = inputs[id];
+    queue.push(std::move(request));
+  }
+  queue.close();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<RequestResult> results =
+      pool_.serve_all(queue, batch, options_.simulate_values);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  if (report) {
+    const Pcu& reference = pool_.pcu(0);
+    FleetReport r;
+    r.pcus = pool_.size();
+    r.requests = batch;
+    r.fidelity = options_.fidelity;
+    r.double_buffer = options_.double_buffer;
+    r.request_time_serial = reference.request_time_serial();
+    r.request_interval = options_.double_buffer
+                             ? reference.request_interval_overlapped()
+                             : reference.request_time_serial();
+    r.overlap_speedup = r.request_interval > 0.0
+                            ? r.request_time_serial / r.request_interval
+                            : 1.0;
+    const double warmup = options_.double_buffer ? reference.warmup_time() : 0.0;
+
+    // Deterministic virtual-time schedule: requests in id order onto the
+    // least-loaded virtual PCU (ties -> lowest index). With a homogeneous
+    // pool this is round-robin, but the loop stays correct for future
+    // heterogeneous fleets.
+    std::vector<double> load(r.pcus, 0.0);
+    r.virtual_requests_per_pcu.assign(r.pcus, 0);
+    double latency_sum = 0.0;
+    for (std::size_t id = 0; id < batch; ++id) {
+      const std::size_t p = static_cast<std::size_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      load[p] += r.request_interval;
+      r.virtual_requests_per_pcu[p] += 1;
+      const double completion = warmup + load[p];
+      latency_sum += completion;
+      r.max_latency = std::max(r.max_latency, completion);
+    }
+    r.makespan_sequential =
+        static_cast<double>(batch) * r.request_time_serial;
+    r.makespan = batch == 0
+                     ? 0.0
+                     : warmup + *std::max_element(load.begin(), load.end());
+    r.throughput_rps =
+        r.makespan > 0.0 ? static_cast<double>(batch) / r.makespan : 0.0;
+    r.speedup_vs_sequential =
+        r.makespan > 0.0 ? r.makespan_sequential / r.makespan : 1.0;
+    r.scaling_efficiency =
+        r.speedup_vs_sequential / static_cast<double>(r.pcus);
+    r.mean_latency = batch == 0 ? 0.0 : latency_sum / static_cast<double>(batch);
+
+    for (const RequestResult& result : results) r.total_energy += result.energy;
+    r.energy_per_request =
+        batch == 0 ? 0.0 : r.total_energy / static_cast<double>(batch);
+    r.wall_seconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    *report = std::move(r);
+  }
+  return results;
+}
+
+RequestResult BatchRunner::run_one(const nn::Tensor& input, std::uint64_t id) {
+  InferenceRequest request;
+  request.id = id;
+  request.seed = derive_request_seed(options_.seed, id);
+  request.input = input;
+  return pool_.pcu(0).serve(request, options_.simulate_values);
+}
+
+void BatchRunner::print_report(const FleetReport& report, std::ostream& os,
+                               const std::string& title) {
+  TextTable table({"metric", "value"});
+  table.add_row({"PCUs", std::to_string(report.pcus)});
+  table.add_row({"requests", std::to_string(report.requests)});
+  table.add_row({"fidelity",
+                 core::timing_fidelity_name(report.fidelity)});
+  table.add_row({"double-buffered recal",
+                 report.double_buffer ? "yes" : "no"});
+  table.add_separator();
+  table.add_row({"request time (serial)",
+                 format_time(report.request_time_serial)});
+  table.add_row({"request interval (overlapped)",
+                 format_time(report.request_interval)});
+  table.add_row({"overlap speedup",
+                 format_fixed(report.overlap_speedup, 3) + "x"});
+  table.add_separator();
+  table.add_row({"makespan (1 PCU, serial)",
+                 format_time(report.makespan_sequential)});
+  table.add_row({"makespan (fleet)", format_time(report.makespan)});
+  table.add_row({"throughput",
+                 format_count(report.throughput_rps) + " req/s"});
+  table.add_row({"speedup vs sequential",
+                 format_fixed(report.speedup_vs_sequential, 3) + "x"});
+  table.add_row({"scaling efficiency",
+                 format_fixed(100.0 * report.scaling_efficiency, 1) + " %"});
+  table.add_row({"mean latency", format_time(report.mean_latency)});
+  table.add_row({"max latency", format_time(report.max_latency)});
+  table.add_separator();
+  table.add_row({"energy / request", format_energy(report.energy_per_request)});
+  table.add_row({"fleet energy", format_energy(report.total_energy)});
+  table.add_row({"host wall time",
+                 format_time(report.wall_seconds)});
+  table.print(os, title);
+
+  TextTable shards({"virtual PCU", "requests"});
+  for (std::size_t p = 0; p < report.virtual_requests_per_pcu.size(); ++p)
+    shards.add_row({std::to_string(p),
+                    std::to_string(report.virtual_requests_per_pcu[p])});
+  shards.print(os, "virtual shard assignment");
+}
+
+} // namespace pcnna::runtime

@@ -1,0 +1,132 @@
+// Batch-parallel inference runner: the top-level serving API.
+//
+// A BatchRunner owns one model (Network + NetWeights) and a PcuPool of N
+// replicated accelerators. run() pushes a batch of inputs through a shared
+// RequestQueue, serves them on N host worker threads (one per PCU), and
+// returns the outputs in request order together with a fleet-level
+// FleetReport.
+//
+// Two clocks are deliberately separated:
+//
+//  * Host wall-clock decides which physical worker simulates which request
+//    (dynamic sharding). It affects nothing but load balancing of the
+//    simulation work itself.
+//
+//  * Simulated hardware time is accounted by a deterministic virtual-time
+//    scheduler: requests are assigned in id order to the least-loaded
+//    virtual PCU. All reported latency / throughput / energy numbers come
+//    from this schedule, so reports are reproducible run to run and
+//    machine to machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "nn/network.hpp"
+#include "nn/tensor.hpp"
+#include "runtime/pcu_pool.hpp"
+
+namespace pcnna::runtime {
+
+struct BatchRunnerOptions {
+  /// Number of replicated photonic conv units (and host worker threads).
+  std::size_t num_pcus = 1;
+  /// Timing fidelity of every PCU's accelerator model. kFull exposes the
+  /// weight-load / settle costs that double buffering hides; under kPaper
+  /// recalibration is free and the overlap is a no-op.
+  core::TimingFidelity fidelity = core::TimingFidelity::kFull;
+  /// Push values through the photonic functional model (true) or compute
+  /// them on the golden CPU path while still pricing the hardware (false).
+  bool simulate_values = true;
+  /// Account weight-bank recalibration as double-buffered against optical
+  /// compute (the Fig. 4 overlap lifted to the request stream).
+  bool double_buffer = true;
+  /// Base seed; per-request engine seeds derive from it (SplitMix64), so
+  /// the whole batch is reproducible from this one number.
+  std::uint64_t seed = 1;
+};
+
+/// Fleet-level serving summary. All times are simulated hardware seconds
+/// unless suffixed _wall.
+struct FleetReport {
+  std::size_t pcus = 1;
+  std::size_t requests = 0;
+  core::TimingFidelity fidelity = core::TimingFidelity::kFull;
+  bool double_buffer = true;
+
+  /// One request on one PCU, serial schedule (Σ layer full_system_time).
+  double request_time_serial = 0.0;
+  /// Steady-state completion interval with double-buffered recalibration.
+  double request_interval = 0.0;
+  /// request_time_serial / request_interval (1.0 when not double buffered).
+  double overlap_speedup = 1.0;
+
+  /// Whole batch on 1 PCU, serial schedule — the baseline.
+  double makespan_sequential = 0.0;
+  /// Whole batch on the fleet (virtual-time schedule).
+  double makespan = 0.0;
+  /// requests / makespan.
+  double throughput_rps = 0.0;
+  /// makespan_sequential / makespan (sharding x overlap gains).
+  double speedup_vs_sequential = 1.0;
+  /// speedup normalized by fleet size.
+  double scaling_efficiency = 1.0;
+
+  /// Request latency under all-at-once arrival (queueing + service).
+  double mean_latency = 0.0;
+  double max_latency = 0.0;
+
+  double total_energy = 0.0;      ///< [J]
+  double energy_per_request = 0.0;///< [J]
+
+  /// Requests each virtual PCU served in the deterministic schedule.
+  std::vector<std::size_t> virtual_requests_per_pcu;
+
+  /// Host seconds spent actually simulating the batch (informational; on a
+  /// multi-core host this is where N worker threads pay off).
+  double wall_seconds = 0.0;
+};
+
+class BatchRunner {
+ public:
+  /// Copies of net/weights are taken so the runner is self-contained.
+  BatchRunner(core::PcnnaConfig config, nn::Network net,
+              nn::NetWeights weights, BatchRunnerOptions options = {});
+
+  // The pool's Pcus hold references into this object's net_/weights_, so
+  // the runner must stay at one address for its lifetime.
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+  BatchRunner(BatchRunner&&) = delete;
+  BatchRunner& operator=(BatchRunner&&) = delete;
+
+  const BatchRunnerOptions& options() const { return options_; }
+  const nn::Network& network() const { return net_; }
+  PcuPool& pool() { return pool_; }
+
+  /// Serve `inputs` as requests 0..B-1. Results come back ordered by
+  /// request id; `report`, when given, is filled with the fleet summary.
+  std::vector<RequestResult> run(const std::vector<nn::Tensor>& inputs,
+                                 FleetReport* report = nullptr);
+
+  /// Sequential single-PCU baseline: serves request `id` on PCU 0 with the
+  /// same per-request seed run() would use — the bit-identity reference.
+  RequestResult run_one(const nn::Tensor& input, std::uint64_t id);
+
+  /// Render a FleetReport as aligned tables via common::report.
+  static void print_report(const FleetReport& report, std::ostream& os,
+                           const std::string& title = "batch serving");
+
+ private:
+  core::PcnnaConfig config_;
+  nn::Network net_;
+  nn::NetWeights weights_;
+  BatchRunnerOptions options_;
+  PcuPool pool_;
+};
+
+} // namespace pcnna::runtime

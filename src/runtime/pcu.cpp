@@ -1,0 +1,80 @@
+#include "runtime/pcu.hpp"
+
+#include <algorithm>
+
+#include "core/energy_model.hpp"
+#include "core/timing_model.hpp"
+
+namespace pcnna::runtime {
+
+Pcu::Pcu(std::size_t index, const core::PcnnaConfig& config,
+         core::TimingFidelity fidelity, const nn::Network& net,
+         const nn::NetWeights& weights)
+    : index_(index),
+      accelerator_(config, fidelity),
+      net_(net),
+      weights_(weights) {
+  const std::vector<nn::ConvLayerParams> layers = net_.conv_layers();
+  const core::TimingModel timing(config, fidelity);
+  const core::EnergyModel energy(config);
+
+  // Per-layer split into recalibration (hideable behind the previous
+  // layer's compute via the shadow bank set) and everything else (floored
+  // by the layer's concurrent DRAM stream, which stays exposed).
+  std::vector<double> recal(layers.size(), 0.0);
+  std::vector<double> nonrecal(layers.size(), 0.0);
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const core::LayerTiming t = timing.layer_time(layers[i]);
+    recal[i] = t.weight_load_time;
+    nonrecal[i] =
+        std::max(t.full_system_time - t.weight_load_time, t.dram_time);
+    request_time_serial_ += t.full_system_time;
+  }
+
+  // Steady-state interval: layer i's optical pass of request r overlaps the
+  // recalibration for layer i+1 — wrapping to layer 0 of request r+1 at the
+  // end of the stack, which is what lifts the Fig. 4 overlap from one layer
+  // to the whole request stream.
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const double next_recal = recal[(i + 1) % layers.size()];
+    request_interval_ += std::max(nonrecal[i], next_recal);
+  }
+  // A recalibration that was already hidden under its own layer's DRAM
+  // stream in the serial schedule can make the sum above exceed the serial
+  // time; double buffering can always fall back to the serial schedule, so
+  // the interval is capped there.
+  request_interval_ = std::min(request_interval_, request_time_serial_);
+  warmup_ = layers.empty() ? 0.0 : recal.front();
+
+  for (const core::EnergyReport& e :
+       energy.network_energy(layers, fidelity)) {
+    request_energy_ += e.total();
+  }
+}
+
+RequestResult Pcu::serve(const InferenceRequest& request,
+                         bool simulate_values) {
+  // Per-request reseed: the engine's noise stream restarts from the
+  // request's own seed, so the output is identical whether this request is
+  // the first thing this PCU ever ran or the thousandth.
+  accelerator_.reseed_engine(request.seed);
+  core::NetworkRunReport run = accelerator_.run(
+      net_, weights_, request.input, simulate_values,
+      /*compare_reference=*/false);
+
+  RequestResult result;
+  result.id = request.id;
+  result.pcu_index = index_;
+  result.output = std::move(run.output);
+  result.service_time_serial = request_time_serial_;
+  result.service_time_overlapped = request_interval_;
+  result.energy = run.total_energy;
+
+  stats_.requests_served += 1;
+  stats_.busy_time_serial += request_time_serial_;
+  stats_.busy_time_overlapped += request_interval_;
+  stats_.energy += run.total_energy;
+  return result;
+}
+
+} // namespace pcnna::runtime

@@ -1,0 +1,98 @@
+// One photonic conv unit (PCU) of the batch-serving fleet.
+//
+// A Pcu wraps a core::Accelerator replica programmed with one model and
+// serves InferenceRequests one at a time. Besides the functional run it
+// prices each request two ways:
+//
+//  * serial: the paper's single-image schedule — every layer pays its
+//    weight-bank reprogramming (MRR retuning + thermal settling) before its
+//    optical pass (sum of LayerTiming::full_system_time).
+//
+//  * double-buffered: the Fig. 4 overlap lifted from one layer to the
+//    request stream. With a shadow weight-bank set, layer i+1's slow MRR
+//    recalibration is loaded while layer i's fast optical pass computes
+//    (wrapping around the layer ring across consecutive requests), so each
+//    layer contributes max(non-recal work, next layer's recalibration)
+//    instead of their sum. The non-recal work is itself floored by the
+//    layer's concurrent DRAM stream, which double buffering cannot hide.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/config.hpp"
+#include "nn/network.hpp"
+#include "nn/tensor.hpp"
+#include "runtime/request_queue.hpp"
+
+namespace pcnna::runtime {
+
+/// Completed inference for one request.
+struct RequestResult {
+  std::uint64_t id = 0;
+  /// Index of the PCU that physically served the request (wall-clock
+  /// scheduling detail; the output itself is PCU-independent).
+  std::size_t pcu_index = 0;
+  nn::Tensor output;
+  /// Simulated single-request service time, serial schedule [s].
+  double service_time_serial = 0.0;
+  /// Simulated service time with double-buffered recalibration [s].
+  double service_time_overlapped = 0.0;
+  /// Simulated energy for the request [J].
+  double energy = 0.0;
+};
+
+/// Cumulative counters for one PCU (wall-clock sharding outcome).
+struct PcuStats {
+  std::size_t requests_served = 0;
+  double busy_time_serial = 0.0;     ///< simulated, serial schedule [s]
+  double busy_time_overlapped = 0.0; ///< simulated, double-buffered [s]
+  double energy = 0.0;               ///< simulated [J]
+};
+
+class Pcu {
+ public:
+  /// Build one replica: `config`/`fidelity` shape the accelerator model,
+  /// `net`/`weights` are the served model (borrowed; must outlive the Pcu).
+  Pcu(std::size_t index, const core::PcnnaConfig& config,
+      core::TimingFidelity fidelity, const nn::Network& net,
+      const nn::NetWeights& weights);
+
+  std::size_t index() const { return index_; }
+  const PcuStats& stats() const { return stats_; }
+
+  /// Serve one request: reseed the engine to the request's seed (so the
+  /// result does not depend on what this PCU served before), run the
+  /// network, and price it. `simulate_values` as in core::Accelerator::run.
+  RequestResult serve(const InferenceRequest& request, bool simulate_values);
+
+  /// Simulated time for one request, serial schedule (Σ full_system_time).
+  double request_time_serial() const { return request_time_serial_; }
+
+  /// Simulated steady-state interval between request completions with
+  /// double-buffered recalibration.
+  double request_interval_overlapped() const { return request_interval_; }
+
+  /// One-time pipeline fill: the first request's first-layer recalibration,
+  /// which nothing earlier can hide.
+  double warmup_time() const { return warmup_; }
+
+  /// Simulated energy per request (layer energies; value-independent).
+  double request_energy() const { return request_energy_; }
+
+ private:
+  std::size_t index_;
+  core::Accelerator accelerator_;
+  const nn::Network& net_;
+  const nn::NetWeights& weights_;
+  PcuStats stats_;
+
+  // Precomputed per-request timing/energy of the served model.
+  double request_time_serial_ = 0.0;
+  double request_interval_ = 0.0;
+  double warmup_ = 0.0;
+  double request_energy_ = 0.0;
+};
+
+} // namespace pcnna::runtime

@@ -1,0 +1,60 @@
+#include "runtime/pcu_pool.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace pcnna::runtime {
+
+PcuPool::PcuPool(std::size_t num_pcus, const core::PcnnaConfig& config,
+                 core::TimingFidelity fidelity, const nn::Network& net,
+                 const nn::NetWeights& weights) {
+  PCNNA_CHECK_MSG(num_pcus >= 1, "a PcuPool needs at least one PCU");
+  pcus_.reserve(num_pcus);
+  for (std::size_t i = 0; i < num_pcus; ++i)
+    pcus_.emplace_back(i, config, fidelity, net, weights);
+}
+
+std::vector<RequestResult> PcuPool::serve_all(RequestQueue& queue,
+                                              std::size_t expected_requests,
+                                              bool simulate_values) {
+  std::vector<RequestResult> results(expected_requests);
+  // Byte flags, not vector<bool>: distinct bytes are safe to write from
+  // different workers; packed bits are not.
+  std::vector<unsigned char> served(expected_requests, 0);
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto worker = [&](Pcu& pcu) {
+    InferenceRequest request;
+    while (queue.pop(request)) {
+      try {
+        PCNNA_CHECK_MSG(request.id < expected_requests,
+                        "request id " << request.id << " out of range");
+        // Distinct ids address distinct slots, so workers never write the
+        // same element concurrently.
+        results[request.id] = pcu.serve(request, simulate_values);
+        served[request.id] = 1;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(pcus_.size());
+  for (Pcu& pcu : pcus_) threads.emplace_back(worker, std::ref(pcu));
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  for (std::size_t id = 0; id < expected_requests; ++id)
+    PCNNA_CHECK_MSG(served[id], "request " << id << " was never served");
+  return results;
+}
+
+} // namespace pcnna::runtime

@@ -1,0 +1,45 @@
+// Fleet of replicated PCUs draining a shared RequestQueue.
+//
+// One worker thread per PCU pulls requests off the queue (dynamic
+// sharding — a slow host thread simply grabs fewer requests) and writes
+// each result into the slot named by the request id. Because every request
+// carries its own engine seed, the sharding decision changes only *who*
+// computes a result, never the result itself.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+#include "nn/network.hpp"
+#include "runtime/pcu.hpp"
+#include "runtime/request_queue.hpp"
+
+namespace pcnna::runtime {
+
+class PcuPool {
+ public:
+  /// Build `num_pcus` identical accelerator replicas serving `net`.
+  /// `net`/`weights` are borrowed and must outlive the pool.
+  PcuPool(std::size_t num_pcus, const core::PcnnaConfig& config,
+          core::TimingFidelity fidelity, const nn::Network& net,
+          const nn::NetWeights& weights);
+
+  std::size_t size() const { return pcus_.size(); }
+  const Pcu& pcu(std::size_t i) const { return pcus_[i]; }
+  Pcu& pcu(std::size_t i) { return pcus_[i]; }
+
+  /// Drain `queue` with one worker thread per PCU and return the results
+  /// ordered by request id. Requests must have dense ids in
+  /// [0, expected_requests); the queue must already be closed (or be closed
+  /// by a concurrent producer) for the call to terminate. Rethrows the
+  /// first worker exception after all threads join.
+  std::vector<RequestResult> serve_all(RequestQueue& queue,
+                                       std::size_t expected_requests,
+                                       bool simulate_values);
+
+ private:
+  std::vector<Pcu> pcus_;
+};
+
+} // namespace pcnna::runtime

@@ -1,0 +1,62 @@
+#include "runtime/request_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace pcnna::runtime {
+
+std::uint64_t derive_request_seed(std::uint64_t base_seed,
+                                  std::uint64_t request_id) {
+  // SplitMix64 finalizer over base ^ golden-ratio-scaled id: the same mixing
+  // construction common::Rng uses for seeding, so per-request streams are
+  // decorrelated even for adjacent ids.
+  std::uint64_t z = base_seed + (request_id + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void RequestQueue::push(InferenceRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PCNNA_CHECK_MSG(!closed_, "push() on a closed RequestQueue");
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+}
+
+bool RequestQueue::pop(InferenceRequest& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+bool RequestQueue::try_pop(InferenceRequest& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+} // namespace pcnna::runtime

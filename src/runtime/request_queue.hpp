@@ -1,0 +1,67 @@
+// Thread-safe inference request queue for the batch-parallel runtime.
+//
+// A RequestQueue is the single work-distribution point of a PcuPool: the
+// submitter pushes InferenceRequests, N PCU workers pop them. close() wakes
+// every blocked consumer once the stream ends; pop() then drains whatever is
+// left and finally reports exhaustion. Requests carry their own engine seed
+// so results are bit-identical no matter which PCU (or how many) serves
+// them — dynamic sharding must never change the numbers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "nn/tensor.hpp"
+
+namespace pcnna::runtime {
+
+/// One inference request: an input feature map plus the identity and RNG
+/// seed that make its simulation order-independent.
+struct InferenceRequest {
+  /// Dense id in [0, batch); doubles as the slot index for its result.
+  std::uint64_t id = 0;
+  /// Engine noise/fabrication seed for this request (derive_request_seed).
+  std::uint64_t seed = 0;
+  nn::Tensor input;
+};
+
+/// Per-request seed derived from the runner's base seed by a SplitMix64
+/// mixing step: decorrelated across ids, reproducible from (base, id) alone,
+/// and independent of which PCU executes the request.
+std::uint64_t derive_request_seed(std::uint64_t base_seed,
+                                  std::uint64_t request_id);
+
+/// Unbounded multi-producer / multi-consumer FIFO with shutdown semantics.
+class RequestQueue {
+ public:
+  RequestQueue() = default;
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Enqueue one request. Throws pcnna::Error if the queue is closed.
+  void push(InferenceRequest request);
+
+  /// Block until a request is available or the queue is closed and drained.
+  /// Returns false (leaving `out` untouched) only on exhaustion.
+  bool pop(InferenceRequest& out);
+
+  /// Non-blocking variant: returns false when nothing is currently queued.
+  bool try_pop(InferenceRequest& out);
+
+  /// End the stream: no further push() succeeds, blocked pop()s drain the
+  /// remaining requests and then return false.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<InferenceRequest> queue_;
+  bool closed_ = false;
+};
+
+} // namespace pcnna::runtime

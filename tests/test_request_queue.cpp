@@ -1,0 +1,121 @@
+// RequestQueue: FIFO order, shutdown semantics, concurrent draining, and
+// per-request seed derivation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "runtime/request_queue.hpp"
+
+namespace {
+
+using namespace pcnna;
+using runtime::derive_request_seed;
+using runtime::InferenceRequest;
+using runtime::RequestQueue;
+
+InferenceRequest make_request(std::uint64_t id) {
+  InferenceRequest r;
+  r.id = id;
+  r.seed = derive_request_seed(7, id);
+  return r;
+}
+
+TEST(RequestQueue, PopsInFifoOrder) {
+  RequestQueue q;
+  for (std::uint64_t id = 0; id < 5; ++id) q.push(make_request(id));
+  EXPECT_EQ(5u, q.size());
+
+  InferenceRequest out;
+  for (std::uint64_t id = 0; id < 5; ++id) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(id, out.id);
+  }
+  EXPECT_EQ(0u, q.size());
+}
+
+TEST(RequestQueue, CloseDrainsThenExhausts) {
+  RequestQueue q;
+  q.push(make_request(0));
+  q.push(make_request(1));
+  q.close();
+  EXPECT_TRUE(q.closed());
+
+  InferenceRequest out;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_FALSE(q.pop(out)) << "closed and empty must report exhaustion";
+}
+
+TEST(RequestQueue, PushAfterCloseThrows) {
+  RequestQueue q;
+  q.close();
+  EXPECT_THROW(q.push(make_request(0)), Error);
+}
+
+TEST(RequestQueue, TryPopDoesNotBlock) {
+  RequestQueue q;
+  InferenceRequest out;
+  EXPECT_FALSE(q.try_pop(out));
+  q.push(make_request(3));
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(3u, out.id);
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(RequestQueue, CloseWakesBlockedConsumer) {
+  RequestQueue q;
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    InferenceRequest out;
+    EXPECT_FALSE(q.pop(out));
+    returned = true;
+  });
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(returned);
+}
+
+TEST(RequestQueue, ConcurrentConsumersPartitionTheStream) {
+  constexpr std::uint64_t kRequests = 200;
+  constexpr int kConsumers = 4;
+
+  RequestQueue q;
+  for (std::uint64_t id = 0; id < kRequests; ++id) q.push(make_request(id));
+  q.close();
+
+  std::vector<std::vector<std::uint64_t>> seen(kConsumers);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      InferenceRequest out;
+      while (q.pop(out)) seen[c].push_back(out.id);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Every id consumed exactly once across all consumers.
+  std::set<std::uint64_t> all;
+  std::size_t total = 0;
+  for (const auto& ids : seen) {
+    total += ids.size();
+    all.insert(ids.begin(), ids.end());
+  }
+  EXPECT_EQ(kRequests, total);
+  EXPECT_EQ(kRequests, all.size());
+}
+
+TEST(RequestSeed, DeterministicAndDecorrelated) {
+  EXPECT_EQ(derive_request_seed(42, 0), derive_request_seed(42, 0));
+  // Adjacent ids and adjacent base seeds map to distinct streams.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t id = 0; id < 100; ++id)
+    seeds.insert(derive_request_seed(42, id));
+  EXPECT_EQ(100u, seeds.size());
+  EXPECT_NE(derive_request_seed(42, 5), derive_request_seed(43, 5));
+}
+
+} // namespace
