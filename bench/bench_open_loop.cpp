@@ -1,0 +1,143 @@
+// Open-loop serving sweep: tail latency vs offered load (the hockey stick).
+//
+// Drives a 4-PCU fleet with seeded Poisson arrivals at offered loads from
+// 0.1x to 1.2x of fleet capacity and reports, per load point, the latency
+// distribution (p50/p99/p99.9), mean queueing delay and queue depth, mean
+// per-PCU utilization, and offered vs achieved throughput. Below
+// saturation the fleet tracks the offered load with flat tails; past
+// ~1.0x the queue grows without bound over the run and p99 explodes —
+// the behavior a closed all-at-once batch cannot show.
+//
+// The sweep itself is timing-only (BatchRunner::simulate_open_loop): the
+// admission loop needs no functional inference, so each point can use
+// thousands of requests. Two self-checks gate the exit code:
+//
+//  * determinism — re-simulating a sweep point reproduces every reported
+//    number bitwise;
+//  * bit-identity — a small functional open-loop batch matches the
+//    sequential single-PCU reference output bit for bit.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "core/config.hpp"
+#include "nn/models.hpp"
+#include "nn/synth.hpp"
+#include "runtime/arrival.hpp"
+#include "runtime/batch_runner.hpp"
+
+using namespace pcnna;
+
+int main() {
+  constexpr std::size_t kPcus = 4;
+  constexpr std::size_t kRequestsPerPoint = 5000;
+  constexpr std::uint64_t kArrivalSeed = 2027;
+
+  const nn::Network net = nn::lenet5();
+  Rng rng(2026);
+  const nn::NetWeights weights = nn::make_network_weights(net, rng);
+  const core::PcnnaConfig config = core::PcnnaConfig::paper_defaults();
+
+  runtime::BatchRunnerOptions options;
+  options.num_pcus = kPcus;
+  options.fidelity = core::TimingFidelity::kFull;
+  options.simulate_values = false;
+  options.double_buffer = true;
+  options.seed = 7;
+  runtime::BatchRunner fleet(config, net, weights, options);
+
+  const double capacity = fleet.simulate_open_loop({}).fleet_capacity_rps;
+
+  benchutil::DualSink sink({"load", "offered", "achieved", "p50", "p99",
+                            "p99.9", "mean wait", "queue depth", "util"},
+                           "pcnna_open_loop.csv");
+
+  bool ok = true;
+  double p99_low = 0.0, p99_high = 0.0;
+  for (int step = 1; step <= 12; ++step) {
+    const double load = 0.1 * static_cast<double>(step);
+    const runtime::ArrivalSchedule arrivals = runtime::poisson_arrivals(
+        kRequestsPerPoint, load * capacity, kArrivalSeed + step);
+    const runtime::OpenLoopReport r = fleet.simulate_open_loop(arrivals);
+
+    if (step == 3) p99_low = r.latency.p99;
+    if (step == 12) p99_high = r.latency.p99;
+
+    double util_sum = 0.0;
+    for (double u : r.utilization_per_pcu) util_sum += u;
+    const double util_mean = util_sum / static_cast<double>(kPcus);
+
+    sink.row({format_fixed(load, 1) + " x",
+              format_count(r.offered_rps) + " req/s",
+              format_count(r.achieved_rps) + " req/s",
+              format_time(r.latency.p50), format_time(r.latency.p99),
+              format_time(r.latency.p999), format_time(r.queue_wait.mean),
+              format_fixed(r.mean_queue_depth, 2),
+              format_fixed(100.0 * util_mean, 1) + " %"});
+
+    // Determinism self-check on the mid-sweep point: a re-simulation must
+    // reproduce the schedule bitwise.
+    if (step == 6) {
+      const runtime::OpenLoopReport again = fleet.simulate_open_loop(arrivals);
+      if (again.makespan != r.makespan || again.latency.p99 != r.latency.p99 ||
+          again.latency.p999 != r.latency.p999 ||
+          again.mean_queue_depth != r.mean_queue_depth ||
+          again.utilization_per_pcu != r.utilization_per_pcu) {
+        std::cout << "FAIL: re-simulated load point is not bit-identical\n";
+        ok = false;
+      }
+    }
+  }
+  sink.print("Open-loop serving - " + net.name() + ", " +
+             std::to_string(kPcus) + " PCUs, " +
+             std::to_string(kRequestsPerPoint) +
+             " Poisson requests per point (fleet capacity " +
+             format_count(capacity) + " req/s)");
+
+  // The hockey stick: overload tails must tower over light-load tails.
+  if (!(p99_high > 2.0 * p99_low)) {
+    std::cout << "FAIL: p99 at 1.2x load (" << format_time(p99_high)
+              << ") does not dominate p99 at 0.3x (" << format_time(p99_low)
+              << ")\n";
+    ok = false;
+  }
+
+  // Bit-identity self-check: open-loop functional outputs equal the
+  // sequential single-PCU reference for the same request ids.
+  {
+    const nn::Network small = nn::tiny_cnn();
+    Rng srng(11);
+    const nn::NetWeights sweights = nn::make_network_weights(small, srng);
+    std::vector<nn::Tensor> inputs;
+    for (std::size_t i = 0; i < 6; ++i)
+      inputs.push_back(nn::make_network_input(small, srng));
+
+    runtime::BatchRunnerOptions fopts;
+    fopts.num_pcus = 3;
+    fopts.simulate_values = true;
+    fopts.seed = 5;
+    runtime::BatchRunner open(config, small, sweights, fopts);
+    const double small_capacity =
+        open.simulate_open_loop({}).fleet_capacity_rps;
+    const auto results = open.run_open_loop(
+        inputs,
+        runtime::poisson_arrivals(inputs.size(), 0.5 * small_capacity, 1));
+
+    runtime::BatchRunnerOptions sopts = fopts;
+    sopts.num_pcus = 1;
+    runtime::BatchRunner single(config, small, sweights, sopts);
+    for (std::size_t id = 0; id < inputs.size(); ++id) {
+      if (!(single.run_one(inputs[id], id).output == results[id].output)) {
+        std::cout << "FAIL: open-loop request " << id
+                  << " differs from the sequential reference\n";
+        ok = false;
+      }
+    }
+  }
+
+  std::cout << "\nself-checks: " << (ok ? "PASS" : "FAIL")
+            << " (determinism, hockey stick, bit-identity)\n";
+  return ok ? 0 : 1;
+}

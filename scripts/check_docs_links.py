@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in README.md and docs/*.md.
+
+Stdlib only (CI's docs job runs it with a bare python3). Checks every
+inline markdown link [text](target) whose target is not an absolute URL
+or in-page anchor: the target path, resolved against the linking file's
+directory, must exist in the repo. Prints one line per dead link and
+exits nonzero if any were found.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(md: Path, repo_root: Path) -> list[str]:
+    dead = []
+    text = md.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        path = target.split("#", 1)[0]  # drop in-file anchors
+        if not path:
+            continue
+        resolved = (md.parent / path).resolve()
+        try:
+            resolved.relative_to(repo_root.resolve())
+        except ValueError:
+            dead.append(f"{md}: link escapes the repo: {target}")
+            continue
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            dead.append(f"{md}:{line}: dead link: {target}")
+    return dead
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    files = [repo_root / "README.md"] + sorted(
+        (repo_root / "docs").glob("*.md")
+    )
+    dead = []
+    checked = 0
+    for md in files:
+        if not md.exists():
+            dead.append(f"expected file is missing: {md}")
+            continue
+        checked += 1
+        dead.extend(check_file(md, repo_root))
+    for line in dead:
+        print(line)
+    print(f"checked {checked} files: "
+          f"{'FAIL' if dead else 'OK'} ({len(dead)} dead links)")
+    return 1 if dead else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

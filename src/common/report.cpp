@@ -70,6 +70,34 @@ std::string TextTable::to_string(std::string_view title) const {
   return os.str();
 }
 
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  PCNNA_CHECK_MSG(!sorted.empty(), "quantile of an empty sample set");
+  PCNNA_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile rank " << q
+                                                         << " outside [0, 1]");
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+DistributionSummary summarize_distribution(std::vector<double> samples) {
+  DistributionSummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p50 = quantile_sorted(samples, 0.50);
+  s.p90 = quantile_sorted(samples, 0.90);
+  s.p99 = quantile_sorted(samples, 0.99);
+  s.p999 = quantile_sorted(samples, 0.999);
+  return s;
+}
+
 struct CsvWriter::Impl {
   std::ofstream out;
 };

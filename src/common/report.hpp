@@ -1,8 +1,10 @@
-// Text-table and CSV report writers used by the bench harness.
+// Text-table and CSV report writers used by the bench harness, plus the
+// sample-distribution summary the serving runtime reports latency through.
 //
 // Every bench binary prints the rows of the paper table/figure it reproduces
 // through TextTable (aligned, human-readable) and can mirror them to a CSV
-// file for plotting.
+// file for plotting. Open-loop serving reports (tail latency, queue wait)
+// summarize their per-request samples with DistributionSummary.
 #pragma once
 
 #include <cstddef>
@@ -41,6 +43,28 @@ class TextTable {
   std::vector<std::string> headers_;
   std::vector<Row> rows_;
 };
+
+/// Order statistics of a sample set (units follow the samples; the serving
+/// runtime feeds simulated seconds). Zero-initialized for an empty set.
+struct DistributionSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+/// Linearly interpolated quantile of an already-sorted (ascending) sample
+/// set at rank q in [0, 1]: index q * (n - 1), fractional indices blend the
+/// two neighbors. Deterministic; requires a nonempty sorted input.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Sort a copy of `samples` and fill every DistributionSummary field.
+/// An empty input yields the zero summary.
+DistributionSummary summarize_distribution(std::vector<double> samples);
 
 /// Minimal CSV writer (RFC-4180 quoting). One instance per output file.
 class CsvWriter {

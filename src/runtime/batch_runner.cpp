@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <ostream>
 
+#include "common/error.hpp"
 #include "common/format.hpp"
 #include "common/report.hpp"
 
@@ -50,29 +52,22 @@ std::vector<RequestResult> BatchRunner::run(
     r.overlap_speedup = r.request_interval > 0.0
                             ? r.request_time_serial / r.request_interval
                             : 1.0;
-    const double warmup = options_.double_buffer ? reference.warmup_time() : 0.0;
-
-    // Deterministic virtual-time schedule: requests in id order onto the
-    // least-loaded virtual PCU (ties -> lowest index). With a homogeneous
-    // pool this is round-robin, but the loop stays correct for future
-    // heterogeneous fleets.
-    std::vector<double> load(r.pcus, 0.0);
+    // Deterministic virtual-time schedule: the closed batch is the
+    // degenerate all-at-t=0 arrival process, so the same admission loop
+    // that prices open-loop serving prices it (requests in id order onto
+    // the earliest-free virtual PCU, ties -> lowest index).
+    const std::vector<ScheduledService> schedule =
+        simulate_schedule(closed_batch_arrivals(batch));
     r.virtual_requests_per_pcu.assign(r.pcus, 0);
     double latency_sum = 0.0;
-    for (std::size_t id = 0; id < batch; ++id) {
-      const std::size_t p = static_cast<std::size_t>(
-          std::min_element(load.begin(), load.end()) - load.begin());
-      load[p] += r.request_interval;
-      r.virtual_requests_per_pcu[p] += 1;
-      const double completion = warmup + load[p];
-      latency_sum += completion;
-      r.max_latency = std::max(r.max_latency, completion);
+    for (const ScheduledService& s : schedule) {
+      r.virtual_requests_per_pcu[s.pcu] += 1;
+      latency_sum += s.completion;
+      r.max_latency = std::max(r.max_latency, s.completion);
+      r.makespan = std::max(r.makespan, s.completion);
     }
     r.makespan_sequential =
         static_cast<double>(batch) * r.request_time_serial;
-    r.makespan = batch == 0
-                     ? 0.0
-                     : warmup + *std::max_element(load.begin(), load.end());
     r.throughput_rps =
         r.makespan > 0.0 ? static_cast<double>(batch) / r.makespan : 0.0;
     r.speedup_vs_sequential =
@@ -89,6 +84,133 @@ std::vector<RequestResult> BatchRunner::run(
     *report = std::move(r);
   }
   return results;
+}
+
+std::vector<RequestResult> BatchRunner::run_open_loop(
+    const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
+    OpenLoopReport* report) {
+  PCNNA_CHECK_MSG(arrivals.size() == inputs.size(),
+                  "open loop needs one arrival per input: "
+                      << arrivals.size() << " arrivals for " << inputs.size()
+                      << " inputs");
+  validate_arrival_schedule(arrivals);
+
+  // Physical serving is identical to the closed batch: arrival times shape
+  // only the virtual-time schedule, never the per-request seeds, so the
+  // outputs stay bit-identical to run()/run_one().
+  const std::size_t batch = inputs.size();
+  RequestQueue queue;
+  for (std::size_t id = 0; id < batch; ++id) {
+    InferenceRequest request;
+    request.id = id;
+    request.seed = derive_request_seed(options_.seed, id);
+    request.arrival_time = arrivals[id];
+    request.input = inputs[id];
+    queue.push(std::move(request));
+  }
+  queue.close();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<RequestResult> results =
+      pool_.serve_all(queue, batch, options_.simulate_values);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  if (report) {
+    OpenLoopReport r = summarize_schedule(simulate_schedule(arrivals),
+                                          arrivals);
+    for (const RequestResult& result : results) r.total_energy += result.energy;
+    r.energy_per_request =
+        batch == 0 ? 0.0 : r.total_energy / static_cast<double>(batch);
+    r.wall_seconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    *report = std::move(r);
+  }
+  return results;
+}
+
+OpenLoopReport BatchRunner::simulate_open_loop(const ArrivalSchedule& arrivals) {
+  validate_arrival_schedule(arrivals);
+  const std::vector<ScheduledService> schedule = simulate_schedule(arrivals);
+  OpenLoopReport r = summarize_schedule(schedule, arrivals);
+  // Timing-only energy: the per-request analytical total, which the
+  // functional path reproduces (values never change layer energy).
+  for (const ScheduledService& s : schedule)
+    r.total_energy += pool_.pcu(s.pcu).request_energy();
+  r.energy_per_request = r.requests == 0
+                             ? 0.0
+                             : r.total_energy /
+                                   static_cast<double>(r.requests);
+  return r;
+}
+
+std::vector<ScheduledService> BatchRunner::simulate_schedule(
+    const ArrivalSchedule& arrivals) {
+  // Lightweight replay stream: the admission loop needs only ids and
+  // arrival timestamps, so the tensors stay behind.
+  RequestQueue queue;
+  for (std::size_t id = 0; id < arrivals.size(); ++id) {
+    InferenceRequest request;
+    request.id = id;
+    request.arrival_time = arrivals[id];
+    queue.push(std::move(request));
+  }
+  queue.close();
+  return pool_.simulate_admission(queue, options_.double_buffer);
+}
+
+OpenLoopReport BatchRunner::summarize_schedule(
+    const std::vector<ScheduledService>& schedule,
+    const ArrivalSchedule& arrivals) const {
+  OpenLoopReport r;
+  r.pcus = pool_.size();
+  r.requests = schedule.size();
+  r.fidelity = options_.fidelity;
+  r.double_buffer = options_.double_buffer;
+  r.offered_rps = offered_rate(arrivals);
+
+  for (std::size_t p = 0; p < r.pcus; ++p) {
+    const Pcu& pcu = pool_.pcu(p);
+    const double interval = options_.double_buffer
+                                ? pcu.request_interval_overlapped()
+                                : pcu.request_time_serial();
+    if (interval > 0.0) r.fleet_capacity_rps += 1.0 / interval;
+  }
+  r.load_factor = std::isinf(r.offered_rps) || r.fleet_capacity_rps <= 0.0
+                      ? 0.0
+                      : r.offered_rps / r.fleet_capacity_rps;
+
+  std::vector<double> latencies;
+  std::vector<double> waits;
+  latencies.reserve(schedule.size());
+  waits.reserve(schedule.size());
+  std::vector<double> busy(r.pcus, 0.0);
+  r.virtual_requests_per_pcu.assign(r.pcus, 0);
+  double wait_sum = 0.0;
+  for (const ScheduledService& s : schedule) {
+    latencies.push_back(s.completion - s.arrival);
+    waits.push_back(s.start - s.arrival);
+    wait_sum += s.start - s.arrival;
+    busy[s.pcu] += s.completion - s.start;
+    r.virtual_requests_per_pcu[s.pcu] += 1;
+    r.makespan = std::max(r.makespan, s.completion);
+  }
+  r.latency = summarize_distribution(std::move(latencies));
+  r.queue_wait = summarize_distribution(std::move(waits));
+
+  if (r.makespan > 0.0) {
+    r.achieved_rps = static_cast<double>(r.requests) / r.makespan;
+    // Little's law on the wait room: time-averaged queue depth equals
+    // total waiting time over the observation window.
+    r.mean_queue_depth = wait_sum / r.makespan;
+    r.utilization_per_pcu.resize(r.pcus);
+    for (std::size_t p = 0; p < r.pcus; ++p)
+      r.utilization_per_pcu[p] = busy[p] / r.makespan;
+  } else {
+    r.utilization_per_pcu.assign(r.pcus, 0.0);
+  }
+  // Energy is filled by the caller: run_open_loop sums the functional
+  // RequestResults, simulate_open_loop the analytical per-request totals.
+  return r;
 }
 
 RequestResult BatchRunner::run_one(const nn::Tensor& input, std::uint64_t id) {
@@ -139,6 +261,55 @@ void BatchRunner::print_report(const FleetReport& report, std::ostream& os,
     shards.add_row({std::to_string(p),
                     std::to_string(report.virtual_requests_per_pcu[p])});
   shards.print(os, "virtual shard assignment");
+}
+
+void BatchRunner::print_report(const OpenLoopReport& report, std::ostream& os,
+                               const std::string& title) {
+  TextTable table({"metric", "value"});
+  table.add_row({"PCUs", std::to_string(report.pcus)});
+  table.add_row({"requests", std::to_string(report.requests)});
+  table.add_row({"fidelity", core::timing_fidelity_name(report.fidelity)});
+  table.add_row({"double-buffered recal",
+                 report.double_buffer ? "yes" : "no"});
+  table.add_separator();
+  table.add_row({"offered load",
+                 std::isinf(report.offered_rps)
+                     ? "inf (closed batch)"
+                     : format_count(report.offered_rps) + " req/s"});
+  table.add_row({"achieved throughput",
+                 format_count(report.achieved_rps) + " req/s"});
+  table.add_row({"fleet capacity",
+                 format_count(report.fleet_capacity_rps) + " req/s"});
+  table.add_row({"load factor (rho)",
+                 format_fixed(report.load_factor, 3)});
+  table.add_row({"makespan", format_time(report.makespan)});
+  table.add_separator();
+  table.add_row({"latency p50", format_time(report.latency.p50)});
+  table.add_row({"latency p90", format_time(report.latency.p90)});
+  table.add_row({"latency p99", format_time(report.latency.p99)});
+  table.add_row({"latency p99.9", format_time(report.latency.p999)});
+  table.add_row({"latency mean", format_time(report.latency.mean)});
+  table.add_row({"latency max", format_time(report.latency.max)});
+  table.add_row({"queue wait mean", format_time(report.queue_wait.mean)});
+  table.add_row({"queue wait p99", format_time(report.queue_wait.p99)});
+  table.add_row({"mean queue depth",
+                 format_fixed(report.mean_queue_depth, 2) + " req"});
+  table.add_separator();
+  table.add_row({"energy / request", format_energy(report.energy_per_request)});
+  table.add_row({"fleet energy", format_energy(report.total_energy)});
+  table.add_row({"host wall time", format_time(report.wall_seconds)});
+  table.print(os, title);
+
+  TextTable pcus({"virtual PCU", "requests", "utilization"});
+  for (std::size_t p = 0; p < report.virtual_requests_per_pcu.size(); ++p) {
+    const double util = p < report.utilization_per_pcu.size()
+                            ? report.utilization_per_pcu[p]
+                            : 0.0;
+    pcus.add_row({std::to_string(p),
+                  std::to_string(report.virtual_requests_per_pcu[p]),
+                  format_fixed(100.0 * util, 1) + " %"});
+  }
+  pcus.print(os, "per-PCU schedule");
 }
 
 } // namespace pcnna::runtime

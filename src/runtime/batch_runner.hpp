@@ -1,10 +1,18 @@
 // Batch-parallel inference runner: the top-level serving API.
 //
 // A BatchRunner owns one model (Network + NetWeights) and a PcuPool of N
-// replicated accelerators. run() pushes a batch of inputs through a shared
-// RequestQueue, serves them on N host worker threads (one per PCU), and
-// returns the outputs in request order together with a fleet-level
-// FleetReport.
+// replicated accelerators. Two entry points share the machinery:
+//
+//  * run() — closed batch: the whole workload is present at t = 0. Returns
+//    outputs in request order plus a fleet-level FleetReport.
+//
+//  * run_open_loop() / simulate_open_loop() — open loop: each request
+//    carries an arrival timestamp (runtime/arrival.hpp generates Poisson,
+//    trace-replay, or uniform schedules), the admission loop charges its
+//    queueing delay in virtual time, and the OpenLoopReport summarizes the
+//    latency distribution (p50/p90/p99/p999), per-PCU utilization, mean
+//    queue depth, and offered vs. achieved throughput. The closed batch is
+//    exactly the degenerate all-at-t=0 arrival schedule.
 //
 // Two clocks are deliberately separated:
 //
@@ -12,11 +20,12 @@
 //    (dynamic sharding). It affects nothing but load balancing of the
 //    simulation work itself.
 //
-//  * Simulated hardware time is accounted by a deterministic virtual-time
-//    scheduler: requests are assigned in id order to the least-loaded
-//    virtual PCU. All reported latency / throughput / energy numbers come
-//    from this schedule, so reports are reproducible run to run and
-//    machine to machine.
+//  * Simulated hardware time is accounted by the deterministic virtual-time
+//    admission loop (PcuPool::simulate_admission): requests are admitted in
+//    arrival order and dispatched to the earliest-free virtual PCU. All
+//    reported latency / throughput / energy numbers come from this
+//    schedule, so reports are reproducible run to run and machine to
+//    machine.
 #pragma once
 
 #include <cstddef>
@@ -25,9 +34,11 @@
 #include <string>
 #include <vector>
 
+#include "common/report.hpp"
 #include "core/config.hpp"
 #include "nn/network.hpp"
 #include "nn/tensor.hpp"
+#include "runtime/arrival.hpp"
 #include "runtime/pcu_pool.hpp"
 
 namespace pcnna::runtime {
@@ -91,6 +102,50 @@ struct FleetReport {
   double wall_seconds = 0.0;
 };
 
+/// Open-loop serving summary. All times are simulated hardware seconds
+/// unless suffixed _wall; all rates are requests per simulated second.
+struct OpenLoopReport {
+  std::size_t pcus = 1;
+  std::size_t requests = 0;
+  core::TimingFidelity fidelity = core::TimingFidelity::kFull;
+  bool double_buffer = true;
+
+  /// Offered load of the arrival schedule (requests / last arrival time
+  /// [req/s]; +inf for the degenerate closed batch).
+  double offered_rps = 0.0;
+  /// requests / makespan [req/s]. Tracks offered_rps below saturation and
+  /// pins at fleet_capacity_rps above it.
+  double achieved_rps = 0.0;
+  /// Steady-state saturation throughput: sum over PCUs of
+  /// 1 / steady-state service interval [req/s].
+  double fleet_capacity_rps = 0.0;
+  /// offered_rps / fleet_capacity_rps (the load factor rho; 0 when offered
+  /// load is infinite, i.e. a closed batch).
+  double load_factor = 0.0;
+
+  /// Last completion time [s].
+  double makespan = 0.0;
+  /// Request latency (sojourn: completion - arrival) distribution [s].
+  DistributionSummary latency;
+  /// Queueing delay (start - arrival) distribution [s].
+  DistributionSummary queue_wait;
+  /// Time-averaged number of requests waiting for a PCU (Little's law:
+  /// total queue wait / makespan) [requests].
+  double mean_queue_depth = 0.0;
+
+  /// Per-PCU busy fraction: simulated busy time / makespan, in [0, 1].
+  std::vector<double> utilization_per_pcu;
+  /// Requests each virtual PCU served in the deterministic schedule.
+  std::vector<std::size_t> virtual_requests_per_pcu;
+
+  double total_energy = 0.0;       ///< [J]
+  double energy_per_request = 0.0; ///< [J]
+
+  /// Host seconds spent on the call (0 for simulate_open_loop, which does
+  /// no functional work).
+  double wall_seconds = 0.0;
+};
+
 class BatchRunner {
  public:
   /// Copies of net/weights are taken so the runner is self-contained.
@@ -108,10 +163,32 @@ class BatchRunner {
   const nn::Network& network() const { return net_; }
   PcuPool& pool() { return pool_; }
 
-  /// Serve `inputs` as requests 0..B-1. Results come back ordered by
-  /// request id; `report`, when given, is filled with the fleet summary.
+  /// Serve `inputs` as requests 0..B-1 arriving all at once (closed batch —
+  /// the degenerate all-at-t=0 arrival schedule).
+  ///
+  /// Preconditions: every input matches the network's input shape (the
+  /// accelerator throws pcnna::Error otherwise). Postconditions: results
+  /// come back ordered by request id, each served exactly once;
+  /// `report`, when given, is filled with the deterministic fleet summary.
+  /// Not thread-safe: one run()/run_open_loop()/run_one() at a time per
+  /// runner (each call reuses the pool's PCU engines).
   std::vector<RequestResult> run(const std::vector<nn::Tensor>& inputs,
                                  FleetReport* report = nullptr);
+
+  /// Open-loop serving: request i arrives at `arrivals[i]` (simulated
+  /// seconds; validate_arrival_schedule is enforced, and arrivals.size()
+  /// must equal inputs.size()). Functional results are bit-identical to
+  /// run() / run_one() for the same ids — arrival times shape only the
+  /// virtual-time schedule the OpenLoopReport summarizes.
+  std::vector<RequestResult> run_open_loop(
+      const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
+      OpenLoopReport* report = nullptr);
+
+  /// Timing-only open loop: simulate the admission schedule for `arrivals`
+  /// and return its report without running any functional inference
+  /// (energy is filled from the per-request analytical model). Lets load
+  /// sweeps use tens of thousands of requests cheaply.
+  OpenLoopReport simulate_open_loop(const ArrivalSchedule& arrivals);
 
   /// Sequential single-PCU baseline: serves request `id` on PCU 0 with the
   /// same per-request seed run() would use — the bit-identity reference.
@@ -121,7 +198,21 @@ class BatchRunner {
   static void print_report(const FleetReport& report, std::ostream& os,
                            const std::string& title = "batch serving");
 
+  /// Render an OpenLoopReport as aligned tables via common::report.
+  static void print_report(const OpenLoopReport& report, std::ostream& os,
+                           const std::string& title = "open-loop serving");
+
  private:
+  /// Timing-only admission-loop schedule for requests 0..arrivals.size()-1
+  /// (no tensors, no functional work).
+  std::vector<ScheduledService> simulate_schedule(
+      const ArrivalSchedule& arrivals);
+
+  /// Derive every schedule-dependent OpenLoopReport field.
+  OpenLoopReport summarize_schedule(
+      const std::vector<ScheduledService>& schedule,
+      const ArrivalSchedule& arrivals) const;
+
   core::PcnnaConfig config_;
   nn::Network net_;
   nn::NetWeights weights_;

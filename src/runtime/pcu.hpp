@@ -28,7 +28,9 @@
 
 namespace pcnna::runtime {
 
-/// Completed inference for one request.
+/// Completed inference for one request. All times are simulated hardware
+/// seconds and all energies simulated joules; nothing here depends on the
+/// host clock.
 struct RequestResult {
   std::uint64_t id = 0;
   /// Index of the PCU that physically served the request (wall-clock
@@ -65,20 +67,33 @@ class Pcu {
   /// Serve one request: reseed the engine to the request's seed (so the
   /// result does not depend on what this PCU served before), run the
   /// network, and price it. `simulate_values` as in core::Accelerator::run.
+  ///
+  /// Precondition: the request's input matches the network's input shape
+  /// (throws pcnna::Error otherwise). Not thread-safe per Pcu — each Pcu
+  /// is owned by exactly one PcuPool worker thread at a time; distinct
+  /// Pcus may serve concurrently.
   RequestResult serve(const InferenceRequest& request, bool simulate_values);
 
-  /// Simulated time for one request, serial schedule (Σ full_system_time).
+  // The four accessors below are precomputed per-model constants (set at
+  // construction, immutable after), so they are safe to read from any
+  // thread — the virtual-time admission loop reads them while workers
+  // serve.
+
+  /// Simulated time for one request [s], serial schedule
+  /// (Σ layer full_system_time).
   double request_time_serial() const { return request_time_serial_; }
 
   /// Simulated steady-state interval between request completions with
-  /// double-buffered recalibration.
+  /// double-buffered recalibration [s].
   double request_interval_overlapped() const { return request_interval_; }
 
-  /// One-time pipeline fill: the first request's first-layer recalibration,
-  /// which nothing earlier can hide.
+  /// One-time pipeline fill [s]: the first request's first-layer
+  /// recalibration, which nothing earlier can hide. Re-charged by the
+  /// admission loop after an idle gap drains the pipeline.
   double warmup_time() const { return warmup_; }
 
-  /// Simulated energy per request (layer energies; value-independent).
+  /// Simulated energy per request [J] (analytical layer energies;
+  /// value-independent).
   double request_energy() const { return request_energy_; }
 
  private:

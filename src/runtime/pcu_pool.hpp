@@ -5,6 +5,13 @@
 // each result into the slot named by the request id. Because every request
 // carries its own engine seed, the sharding decision changes only *who*
 // computes a result, never the result itself.
+//
+// Timing is accounted separately from that physical work by
+// simulate_admission(): a single-threaded, deterministic virtual-time loop
+// that replays the request stream against its arrival timestamps, charges
+// each request its queueing delay, and dispatches to the earliest-free
+// virtual PCU. All reported latency/throughput numbers come from this
+// schedule, never from host thread interleaving.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +23,17 @@
 #include "runtime/request_queue.hpp"
 
 namespace pcnna::runtime {
+
+/// One request's place in the deterministic virtual-time schedule.
+/// All times are simulated seconds; queueing delay is start - arrival,
+/// sojourn (reported request latency) is completion - arrival.
+struct ScheduledService {
+  std::uint64_t id = 0;
+  std::size_t pcu = 0;     ///< virtual PCU the request was dispatched to
+  double arrival = 0.0;    ///< [s]
+  double start = 0.0;      ///< service start: max(arrival, PCU free) [s]
+  double completion = 0.0; ///< [s]
+};
 
 class PcuPool {
  public:
@@ -37,6 +55,29 @@ class PcuPool {
   std::vector<RequestResult> serve_all(RequestQueue& queue,
                                        std::size_t expected_requests,
                                        bool simulate_values);
+
+  /// Clocked admission loop in virtual time — the single source of truth
+  /// for every reported latency/throughput number.
+  ///
+  /// Advances a virtual clock along the arrival timeline; at each step it
+  /// admits (pop_arrived) every request that has arrived and dispatches it
+  /// to the earliest-free virtual PCU (ties broken toward the lowest
+  /// index), charging the queueing delay start - arrival before service
+  /// begins. Service time per request:
+  ///
+  ///  * double_buffer: the steady-state overlapped interval; a request
+  ///    dispatched to an idle PCU (start > previous free time, or a cold
+  ///    PCU) additionally pays the pipeline-fill warmup, because the
+  ///    recalibration overlap only spans back-to-back requests.
+  ///  * !double_buffer: the serial request time, no warmup (each layer
+  ///    pays its own recalibration inline).
+  ///
+  /// Preconditions: `queue` is closed and holds requests in nondecreasing
+  /// arrival_time order. The queue is drained. Single-threaded and
+  /// deterministic: identical inputs yield a bitwise-identical schedule.
+  /// Returns one entry per request in admission (= arrival) order.
+  std::vector<ScheduledService> simulate_admission(RequestQueue& queue,
+                                                   bool double_buffer);
 
  private:
   std::vector<Pcu> pcus_;

@@ -41,6 +41,22 @@ bool RequestQueue::try_pop(InferenceRequest& out) {
   return true;
 }
 
+bool RequestQueue::pop_arrived(double virtual_now, InferenceRequest& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty() || queue_.front().arrival_time > virtual_now)
+    return false;
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+bool RequestQueue::next_arrival(double& when) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  when = queue_.front().arrival_time;
+  return true;
+}
+
 void RequestQueue::close() {
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -6,6 +6,22 @@
 // left and finally reports exhaustion. Requests carry their own engine seed
 // so results are bit-identical no matter which PCU (or how many) serves
 // them — dynamic sharding must never change the numbers.
+//
+// The queue serves two distinct consumers:
+//
+//  * PCU worker threads (pop / try_pop) drain it concurrently to do the
+//    physical simulation work; ordering between workers is wall-clock
+//    nondeterministic and deliberately irrelevant to results.
+//
+//  * The virtual-time admission loop (pop_arrived / next_arrival) replays
+//    the same requests single-threaded against their simulated arrival
+//    timestamps to charge queueing delay deterministically
+//    (PcuPool::simulate_admission).
+//
+// Thread-safety: every member function takes the internal mutex and is safe
+// to call from any thread, but the virtual-time interface is only
+// *meaningful* from one thread at a time (an admission loop interleaved
+// across threads would race on the virtual clock it advances).
 #pragma once
 
 #include <condition_variable>
@@ -24,6 +40,10 @@ struct InferenceRequest {
   std::uint64_t id = 0;
   /// Engine noise/fabrication seed for this request (derive_request_seed).
   std::uint64_t seed = 0;
+  /// Simulated arrival timestamp [s]. 0 for the closed-batch path (all
+  /// requests present at t = 0); set from an ArrivalSchedule for open-loop
+  /// serving. Affects only the virtual-time schedule, never the output.
+  double arrival_time = 0.0;
   nn::Tensor input;
 };
 
@@ -49,6 +69,20 @@ class RequestQueue {
 
   /// Non-blocking variant: returns false when nothing is currently queued.
   bool try_pop(InferenceRequest& out);
+
+  // --- Virtual-time interface (open-loop admission loop) ---
+  //
+  // Preconditions: requests were pushed in nondecreasing arrival_time order
+  // (so FIFO order == arrival order). Both calls are non-blocking.
+
+  /// Pop the front request only if it has arrived by simulated time
+  /// `virtual_now` [s]. Returns false when the queue is empty or the front
+  /// request's arrival_time is still in the virtual future.
+  bool pop_arrived(double virtual_now, InferenceRequest& out);
+
+  /// Peek the front (= earliest, given ordered pushes) pending arrival
+  /// time into `when` [s]. Returns false when the queue is empty.
+  bool next_arrival(double& when) const;
 
   /// End the stream: no further push() succeeds, blocked pop()s drain the
   /// remaining requests and then return false.

@@ -80,4 +80,46 @@ TEST(Csv, UnwritablePathThrows) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), pcnna::Error);
 }
 
+TEST(DistributionSummary, QuantilesOfKnownSamples) {
+  // 1..100 shuffled-ish (summarize sorts internally).
+  std::vector<double> samples;
+  for (int v = 100; v >= 1; --v) samples.push_back(static_cast<double>(v));
+  const pcnna::DistributionSummary s =
+      pcnna::summarize_distribution(samples);
+
+  EXPECT_EQ(100u, s.count);
+  EXPECT_DOUBLE_EQ(50.5, s.mean);
+  EXPECT_DOUBLE_EQ(1.0, s.min);
+  EXPECT_DOUBLE_EQ(100.0, s.max);
+  // Linear interpolation at index q * (n - 1).
+  EXPECT_DOUBLE_EQ(50.5, s.p50);   // index 49.5
+  EXPECT_DOUBLE_EQ(90.1, s.p90);   // index 89.1
+  EXPECT_DOUBLE_EQ(99.01, s.p99);  // index 98.01
+  EXPECT_NEAR(99.901, s.p999, 1e-9);
+}
+
+TEST(DistributionSummary, EmptyAndSingleton) {
+  const pcnna::DistributionSummary empty =
+      pcnna::summarize_distribution({});
+  EXPECT_EQ(0u, empty.count);
+  EXPECT_EQ(0.0, empty.p999);
+
+  const pcnna::DistributionSummary one =
+      pcnna::summarize_distribution({3.5});
+  EXPECT_EQ(1u, one.count);
+  EXPECT_DOUBLE_EQ(3.5, one.min);
+  EXPECT_DOUBLE_EQ(3.5, one.p50);
+  EXPECT_DOUBLE_EQ(3.5, one.p999);
+  EXPECT_DOUBLE_EQ(3.5, one.max);
+}
+
+TEST(QuantileSorted, InterpolatesAndValidates) {
+  const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(10.0, pcnna::quantile_sorted(sorted, 0.0));
+  EXPECT_DOUBLE_EQ(40.0, pcnna::quantile_sorted(sorted, 1.0));
+  EXPECT_DOUBLE_EQ(25.0, pcnna::quantile_sorted(sorted, 0.5));
+  EXPECT_THROW(pcnna::quantile_sorted({}, 0.5), pcnna::Error);
+  EXPECT_THROW(pcnna::quantile_sorted(sorted, 1.5), pcnna::Error);
+}
+
 } // namespace

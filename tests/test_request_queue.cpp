@@ -108,6 +108,36 @@ TEST(RequestQueue, ConcurrentConsumersPartitionTheStream) {
   EXPECT_EQ(kRequests, all.size());
 }
 
+TEST(RequestQueue, PopArrivedHonorsVirtualTime) {
+  RequestQueue q;
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    InferenceRequest r = make_request(id);
+    r.arrival_time = static_cast<double>(id) * 1e-3; // 0, 1 ms, 2 ms
+    q.push(std::move(r));
+  }
+  q.close();
+
+  InferenceRequest out;
+  double when = -1.0;
+  ASSERT_TRUE(q.next_arrival(when));
+  EXPECT_EQ(0.0, when);
+
+  // At t = 1 ms exactly two requests have arrived (boundary inclusive).
+  EXPECT_TRUE(q.pop_arrived(1e-3, out));
+  EXPECT_EQ(0u, out.id);
+  EXPECT_TRUE(q.pop_arrived(1e-3, out));
+  EXPECT_EQ(1u, out.id);
+  EXPECT_FALSE(q.pop_arrived(1e-3, out))
+      << "request 2 is still in the virtual future at t = 1 ms";
+
+  ASSERT_TRUE(q.next_arrival(when));
+  EXPECT_EQ(2e-3, when);
+  EXPECT_TRUE(q.pop_arrived(5e-3, out));
+  EXPECT_EQ(2u, out.id);
+  EXPECT_FALSE(q.next_arrival(when)) << "drained queue has no next arrival";
+  EXPECT_FALSE(q.pop_arrived(1.0, out));
+}
+
 TEST(RequestSeed, DeterministicAndDecorrelated) {
   EXPECT_EQ(derive_request_seed(42, 0), derive_request_seed(42, 0));
   // Adjacent ids and adjacent base seeds map to distinct streams.
