@@ -53,6 +53,7 @@ int main() {
   benchutil::DualSink sink({"load", "offered", "achieved", "p50", "p99",
                             "p99.9", "mean wait", "queue depth", "util"},
                            "pcnna_open_loop.csv");
+  benchutil::BenchJsonWriter json("open_loop", "BENCH_open_loop.json");
 
   bool ok = true;
   double p99_low = 0.0, p99_high = 0.0;
@@ -77,6 +78,16 @@ int main() {
               format_fixed(r.mean_queue_depth, 2),
               format_fixed(100.0 * util_mean, 1) + " %"});
 
+    const std::string point = "load_" + format_fixed(load, 1) + "x";
+    json.row(point, "offered_rps", r.offered_rps, "req/s");
+    json.row(point, "achieved_rps", r.achieved_rps, "req/s");
+    json.row(point, "latency_p50", r.latency.p50, "s");
+    json.row(point, "latency_p99", r.latency.p99, "s");
+    json.row(point, "latency_p999", r.latency.p999, "s");
+    json.row(point, "queue_wait_mean", r.queue_wait.mean, "s");
+    json.row(point, "mean_queue_depth", r.mean_queue_depth, "requests");
+    json.row(point, "utilization_mean", util_mean, "fraction");
+
     // Determinism self-check on the mid-sweep point: a re-simulation must
     // reproduce the schedule bitwise.
     if (step == 6) {
@@ -95,6 +106,8 @@ int main() {
              std::to_string(kRequestsPerPoint) +
              " Poisson requests per point (fleet capacity " +
              format_count(capacity) + " req/s)");
+  json.row("fleet", "capacity_rps", capacity, "req/s");
+  if (!json.finish()) ok = false;
 
   // The hockey stick: overload tails must tower over light-load tails.
   if (!(p99_high > 2.0 * p99_low)) {

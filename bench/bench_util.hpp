@@ -5,15 +5,72 @@
 // directory) for plotting.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/format.hpp"
+#include "common/json.hpp"
 #include "common/report.hpp"
 #include "nn/conv_params.hpp"
 
 namespace pcnna::benchutil {
+
+/// Machine-readable bench results: a flat JSON array of
+///   {"bench": ..., "config": ..., "metric": ..., "value": ..., "unit": ...}
+/// rows written to BENCH_<name>.json in the working directory, so the perf
+/// trajectory is comparable across PRs (schema documented in
+/// docs/benchmarks.md; scripts/bench_summary.py prints these files).
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(std::string bench, std::string path)
+      : bench_(std::move(bench)), path_(std::move(path)) {}
+
+  void row(const std::string& config, const std::string& metric, double value,
+           const std::string& unit) {
+    rows_.push_back(Row{config, metric, value, unit});
+  }
+
+  /// Write the collected rows and report the file path on stdout. Returns
+  /// false (and says so) when the file could not be written — callers fold
+  /// this into their self-check exit code so perf rows are never silently
+  /// lost.
+  [[nodiscard]] bool finish() {
+    std::ofstream os(path_);
+    JsonWriter json(os);
+    json.begin_array();
+    for (const Row& r : rows_) {
+      json.begin_object();
+      json.kv("bench", bench_);
+      json.kv("config", r.config);
+      json.kv("metric", r.metric);
+      json.kv("value", r.value);
+      json.kv("unit", r.unit);
+      json.end_object();
+    }
+    json.end_array();
+    json.finish();
+    os << "\n";
+    os.flush();
+    if (!os) {
+      std::cout << "FAIL: could not write " << path_ << "\n";
+      return false;
+    }
+    std::cout << "(machine-readable rows in " << path_ << ")\n";
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string config, metric;
+    double value;
+    std::string unit;
+  };
+  std::string bench_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 /// "n x n x nc" shape string, e.g. "224x224x3".
 inline std::string shape_str(const nn::ConvLayerParams& layer) {

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Print the machine-readable bench results (BENCH_*.json) as a table.
+
+Each BENCH_<name>.json file is a flat JSON array of rows:
+
+    {"bench": ..., "config": ..., "metric": ..., "value": ..., "unit": ...}
+
+emitted by the bench binaries (see docs/benchmarks.md for the schema and
+the comparison methodology). Usage:
+
+    python3 scripts/bench_summary.py [files-or-dirs ...]
+
+With no arguments, globs BENCH_*.json in the current directory. Passing two
+run directories side by side is the intended way to eyeball a perf
+trajectory across PRs:
+
+    python3 scripts/bench_summary.py old_run/ new_run/
+
+Stdlib only; exits non-zero on malformed files or missing inputs.
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def collect(paths):
+    """Expand args into BENCH_*.json file paths."""
+    if not paths:
+        paths = ["."]
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            files.extend(sorted(glob.glob(os.path.join(p, "BENCH_*.json"))))
+        else:
+            files.append(p)
+    return files
+
+
+def load_rows(path):
+    with open(path) as f:
+        rows = json.load(f)
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: expected a JSON array of rows")
+    for row in rows:
+        for key in ("bench", "config", "metric", "value", "unit"):
+            if key not in row:
+                raise ValueError(f"{path}: row missing key '{key}': {row}")
+    return rows
+
+
+def fmt_value(value, unit):
+    if unit == "s":
+        for scale, suffix in ((1.0, "s"), (1e-3, "ms"), (1e-6, "us"),
+                              (1e-9, "ns")):
+            if abs(value) >= scale:
+                return f"{value / scale:.3g} {suffix}"
+        return f"{value:.3g} s"
+    return f"{value:.4g} {unit}"
+
+
+def print_table(source, rows):
+    header = ("config", "metric", "value")
+    table = [(r["config"], r["metric"], fmt_value(r["value"], r["unit"]))
+             for r in rows]
+    widths = [max(len(h), *(len(t[i]) for t in table)) if table else len(h)
+              for i, h in enumerate(header)]
+    bench = rows[0]["bench"] if rows else "?"
+    print(f"== {bench} ({source}) ==")
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for t in table:
+        print("  ".join(c.ljust(w) for c, w in zip(t, widths)))
+    print()
+
+
+def main(argv):
+    files = collect(argv[1:])
+    if not files:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    status = 0
+    for path in files:
+        try:
+            print_table(path, load_rows(path))
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

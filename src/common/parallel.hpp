@@ -1,0 +1,65 @@
+// Deterministic fork/join worker pool for intra-image parallelism.
+//
+// The engine hot path partitions output pixels into fixed contiguous tiles
+// (one per worker) and runs each tile on its own worker with its own
+// scratch; workers never share mutable state, so the result is bitwise
+// independent of scheduling. The pool exists to amortize thread creation
+// across the many conv2d calls of a network/serving run — workers are
+// spawned once and parked on a condition variable between jobs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcnna {
+
+/// Fixed-size fork/join pool. `workers()` includes the calling thread:
+/// run(fn) invokes fn(w) for w in [0, workers()), with w == 0 executed on
+/// the caller and the rest on parked pool threads. run() returns after all
+/// workers finish; the first worker exception (if any) is rethrown.
+class ThreadPool {
+ public:
+  /// Spawns `workers - 1` parked threads (workers >= 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return num_workers_; }
+
+  /// Fork/join: every worker runs fn(worker_index) exactly once.
+  void run(const std::function<void(std::size_t)>& fn);
+
+  /// Static partition of [0, count) into `workers` contiguous chunks:
+  /// worker w owns [chunk_begin(count, w, n), chunk_begin(count, w + 1, n)).
+  /// The decomposition is a pure function of (count, workers), never of
+  /// scheduling — part of the determinism contract, and the single home of
+  /// the formula (callers must not re-derive it).
+  static std::size_t chunk_begin(std::size_t count, std::size_t w,
+                                 std::size_t workers) {
+    return count * w / workers;
+  }
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::size_t num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t outstanding_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+} // namespace pcnna

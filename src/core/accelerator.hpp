@@ -84,6 +84,13 @@ class Accelerator {
   /// core (paper SS IV): images run back to back, each repeating the full
   /// layer sequence (including per-layer weight reprogramming at kFull
   /// fidelity). For multi-core pipelined batching see core::ThroughputModel.
+  ///
+  /// Deprecated (ROADMAP run_batch deprecation plan, steps 1-2 done in
+  /// PR 3): runtime::BatchRunner::run / FleetReport subsume this —
+  /// FleetReport::request_time_serial is this report's time_per_image,
+  /// makespan_sequential its total_time, and the fleet adds sharding,
+  /// double-buffered recalibration, and open-loop serving on top. Scheduled
+  /// for deletion (with BatchReport) one PR after deprecation.
   struct BatchReport {
     std::size_t images = 0;
     double time_per_image = 0.0; ///< accelerated-op time per image [s]
@@ -91,6 +98,7 @@ class Accelerator {
     double images_per_second = 0.0;
     double energy_per_image = 0.0; ///< [J]
   };
+  [[deprecated("use runtime::BatchRunner::run / FleetReport instead")]]
   BatchReport run_batch(const nn::Network& net, std::size_t images) const;
 
  private:

@@ -64,6 +64,7 @@ void PcnnaConfig::validate() const {
   PCNNA_CHECK(max_wavelengths >= 1);
   PCNNA_CHECK(adc_headroom > 0.0);
   PCNNA_CHECK(stuck_ring_rate >= 0.0 && stuck_ring_rate <= 1.0);
+  PCNNA_CHECK(engine_threads >= 1);
 }
 
 } // namespace pcnna::core

@@ -100,6 +100,16 @@ struct PcnnaConfig {
   bool dual_rail_inputs = false;
   double adc_headroom = 4.0;      ///< ADC full scale = headroom * sqrt(group)
   std::uint64_t seed = 1;         ///< fabrication + noise seed
+  /// Intra-image parallelism of the functional engine: number of host
+  /// threads sweeping kernel locations of one conv layer (1 = sequential).
+  /// Outputs are bit-identical for any value — pixels are partitioned into
+  /// fixed tiles, per-pixel accumulation order is unchanged, and with noise
+  /// enabled the per-pixel RNG draws are pre-generated in the sequential
+  /// pixel order before the tiles fan out. Purely a host-simulation knob;
+  /// no modeled hardware quantity depends on it. The serving runtime
+  /// multiplies this by its per-PCU worker threads, so keep the product
+  /// within the host core budget.
+  std::size_t engine_threads = 1;
 
   /// The configuration used throughout the paper's evaluation.
   static PcnnaConfig paper_defaults();

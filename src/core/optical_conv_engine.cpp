@@ -1,5 +1,6 @@
 #include "core/optical_conv_engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -7,12 +8,31 @@
 #include "common/mathutil.hpp"
 #include "electronics/adc.hpp"
 #include "electronics/dac.hpp"
-#include "nn/conv_ref.hpp"
 #include "photonics/laser.hpp"
 #include "photonics/modulator.hpp"
 #include "photonics/waveguide.hpp"
 #include "photonics/wdm.hpp"
 
+// Hot-path bit-identity contract
+// ------------------------------
+// Every value this file computes must stay bit-identical to the frozen
+// pre-rewrite engine (engine_reference.cpp): the serving runtime's
+// request-level reproducibility guarantees are built on engine outputs, so
+// the rewrite hoists and restructures but never reassociates. Concretely:
+//
+//  * per-element math (normalize, DAC quantize, MZM transfer) is hoisted
+//    out of the pixel loops into per-layer tables — legal because they are
+//    pure functions of the input element, evaluated with the identical
+//    expressions;
+//  * each per-bank dot product accumulates channel-ascending with += ,
+//    exactly like the reference — the loop interchange to K independent
+//    accumulation chains changes the schedule, never the per-accumulator
+//    addition order;
+//  * RNG draw order is pinned: all setup draws (bank fabrication,
+//    inject_stuck_faults, measured_usable_range) happen sequentially in
+//    construction order, and hot-loop draws (laser RIN, photodiode noise)
+//    happen in sequential pixel order — pre-generated into a buffer before
+//    tiles fan out when engine_threads > 1.
 namespace pcnna::core {
 namespace {
 
@@ -46,14 +66,6 @@ AnalogChain make_chain(const PcnnaConfig& cfg, std::size_t fanout) {
   return chain;
 }
 
-/// One calibrated bank segment, reduced to its linear response.
-struct BankProgram {
-  std::vector<phot::WeightBank::ChannelSplit> splits;
-  double baseline_current = 0.0; ///< balanced current with all inputs at 0
-  double heater_power = 0.0;
-  double area = 0.0;
-};
-
 /// Quantize a signed weight in [-1, 1] through the kernel-weight DAC.
 double quantize_weight(const elec::Dac& dac, double w) {
   return dac.convert((w + 1.0) / 2.0) * 2.0 - 1.0;
@@ -69,19 +81,6 @@ struct CalibrationError {
     ++count;
   }
 };
-
-/// Failure injection: freeze each ring's heater at its parked drive with
-/// the configured probability (PcnnaConfig::stuck_ring_rate).
-void inject_faults(const PcnnaConfig& cfg, phot::WeightBank& bank, Rng& rng,
-                   EngineStats& st) {
-  if (cfg.stuck_ring_rate <= 0.0) return;
-  for (std::size_t i = 0; i < bank.channels(); ++i) {
-    if (rng.uniform() < cfg.stuck_ring_rate) {
-      bank.fail_ring(i);
-      ++st.stuck_rings;
-    }
-  }
-}
 
 /// ADC full scale for the normalized MAC values of a layer, in units of
 /// sum_i x'_i * w'_i with x' in [0, 1] and |w'| <= 1.
@@ -110,11 +109,398 @@ double mean_square_scaled(const Range& values, double scale) {
   return acc / static_cast<double>(values.size());
 }
 
-/// Empirically measure the symmetric weight range a bank of `channels`
-/// rings can represent: program every ring to the positive/negative
-/// extreme and probe the middle channel. Accounts for the cumulative
-/// through-path insertion loss and crosstalk that the single-ring closed
-/// form misses.
+// --- noise sources -------------------------------------------------------
+// The hot loop consumes standard normals through one of these; all three
+// produce the identical value stream for a given engine state, which is the
+// crux of determinism under threads (see the header).
+
+/// Sequential path: draw from the engine RNG inline (the reference
+/// behavior — Rng::normal(mean, sigma) is mean + sigma * Rng::normal()).
+struct RngNormalSource {
+  Rng* rng;
+  double next() { return rng->normal(); }
+};
+
+/// Parallel noisy path: read standard normals pre-drawn in sequential pixel
+/// order from EngineScratch::noise_z.
+struct BufferNormalSource {
+  const double* z;
+  double next() { return *z++; }
+};
+
+/// Noise-free path: never called (kNoise == false elides all call sites).
+struct NullNormalSource {
+  double next() { return 0.0; }
+};
+
+/// Replicates BalancedPhotodiode::detect bit for bit while sourcing the
+/// standard normals from `src`: each branch computes its ideal current,
+/// then adds sigma * z when its noise sigma is nonzero (plus branch first —
+/// the draw order the sequential engine produces).
+template <bool kNoise, typename Source>
+inline double detect_balanced(const phot::BalancedPhotodiode& pd,
+                              double p_drop, double p_thru, double bw,
+                              Source& src) {
+  double cur_p = pd.plus_branch().ideal_current(p_drop);
+  double cur_m = pd.minus_branch().ideal_current(p_thru);
+  if constexpr (kNoise) {
+    const double sp = pd.plus_branch().noise_sigma(cur_p, bw);
+    if (sp != 0.0) cur_p = cur_p + sp * src.next();
+    const double sm = pd.minus_branch().noise_sigma(cur_m, bw);
+    if (sm != 0.0) cur_m = cur_m + sm * src.next();
+  }
+  return cur_p - cur_m;
+}
+
+/// True when every balanced-detect branch consumes a compile-time-known
+/// number of normals per sample (0 or 1) — the precondition for pre-drawing
+/// the parallel noisy path. Shot-only noise with zero dark current makes
+/// the draw data-dependent (sigma == 0 exactly when the mean current is 0),
+/// so that corner falls back to the sequential path.
+bool pd_draw_count_fixed(const phot::PhotodiodeConfig& pd) {
+  if (!pd.enable_shot_noise && !pd.enable_thermal_noise) return true; // 0
+  if (pd.enable_thermal_noise) return true;                          // 1
+  return pd.dark_current > 0.0; // shot only: mean >= dark > 0 -> 1
+}
+
+/// Normals one balanced-detect branch consumes per sample when the count is
+/// fixed.
+std::size_t pd_draws_per_branch(const phot::PhotodiodeConfig& pd) {
+  return (pd.enable_shot_noise || pd.enable_thermal_noise) ? 1 : 0;
+}
+
+/// Per-layer constants of one pixel sweep, shared read-only by all workers.
+struct SweepCtx {
+  const GroupSlice* groups = nullptr;
+  std::size_t n_groups = 0;
+  const double* transfer = nullptr;
+  double transfer_pad = 0.0;
+  const std::int32_t* patch = nullptr;
+  std::size_t n_kernel = 0;   ///< patch row stride
+  std::size_t patch_offset = 0; ///< per-channel allocation: c * m * m
+  const double* drop_t = nullptr;
+  const double* thru_t = nullptr;
+  const double* baseline = nullptr;
+  const std::size_t* group_base = nullptr;
+  std::size_t K = 0;
+  std::size_t pixels = 0;
+  double bcast = 1.0;
+  double laser_mean = 0.0;
+  double laser_sigma = 0.0;
+  double p_src0 = 0.0; ///< noise-free modulated source power (p0 * bcast)
+  const phot::BalancedPhotodiode* pd = nullptr;
+  double bw = 0.0;
+  double denom_current = 1.0;
+  bool quantize = false;
+  const elec::Adc* adc = nullptr;
+  double adc_fs = 1.0;
+  double recover = 1.0;
+  const double* bias = nullptr; ///< null when the layer has no bias
+  double* out = nullptr;
+  /// Full-kernel: analog wire-sum across groups, one ADC sample per kernel
+  /// (false). Per-channel: every pass is digitized and accumulated into
+  /// `out` electronically (true).
+  bool accumulate = false;
+};
+
+/// Inner MAC step: rank-1 update of the K drop/through accumulators with
+/// one channel's power. The __restrict qualifiers let the compiler
+/// vectorize across the K independent chains — legal bitwise because each
+/// chain's addition order is untouched (lanes are distinct accumulators).
+inline void mac_update(std::size_t K, double pw, const double* __restrict dr,
+                       const double* __restrict th, double* __restrict dacc,
+                       double* __restrict tacc) {
+  for (std::size_t k = 0; k < K; ++k) {
+    dacc[k] += pw * dr[k];
+    tacc[k] += pw * th[k];
+  }
+}
+
+/// One kernel location: modulate the receptive field, run all K banks, and
+/// digitize. Identical value/draw sequence to the reference engine's
+/// per-pixel body.
+template <bool kNoise, typename Source>
+void conv_pixel(const SweepCtx& c, std::size_t p, Source& src,
+                EngineScratch::Worker& wk) {
+  const std::int32_t* prow = c.patch + p * c.n_kernel + c.patch_offset;
+  double* powers = wk.powers.data();
+  double* dacc = wk.drop_acc.data();
+  double* tacc = wk.thru_acc.data();
+  double* acc = wk.acc.data();
+  if (!c.accumulate) std::fill(acc, acc + c.K, 0.0);
+
+  for (std::size_t g = 0; g < c.n_groups; ++g) {
+    const GroupSlice& slice = c.groups[g];
+    const std::size_t width = slice.size();
+    // Modulate this group's input slice through the precomputed transfer
+    // table (gather via the im2col patch map).
+    for (std::size_t i = 0; i < width; ++i) {
+      const std::int32_t idx = prow[slice.begin + i];
+      const double tf = idx >= 0 ? c.transfer[idx] : c.transfer_pad;
+      if constexpr (kNoise) {
+        const double emit =
+            std::max(0.0, c.laser_mean + c.laser_sigma * src.next());
+        powers[i] = emit * c.bcast * tf;
+      } else {
+        powers[i] = c.p_src0 * tf;
+      }
+    }
+
+    // Branch-free MAC: K independent drop/through accumulation chains over
+    // the transposed bank responses; each chain adds channel-ascending,
+    // exactly like the reference inner loop.
+    std::fill(dacc, dacc + c.K, 0.0);
+    std::fill(tacc, tacc + c.K, 0.0);
+    const double* drop = c.drop_t + c.group_base[g];
+    const double* thru = c.thru_t + c.group_base[g];
+    for (std::size_t i = 0; i < width; ++i)
+      mac_update(c.K, powers[i], drop + i * c.K, thru + i * c.K, dacc, tacc);
+
+    const double* base = c.baseline + g * c.K;
+    if (!c.accumulate) {
+      for (std::size_t k = 0; k < c.K; ++k) {
+        const double current =
+            detect_balanced<kNoise>(*c.pd, dacc[k], tacc[k], c.bw, src);
+        acc[k] += (current - base[k]) / c.denom_current;
+      }
+    } else {
+      // Per-channel partial sums are digitized every pass and accumulated
+      // electronically.
+      for (std::size_t k = 0; k < c.K; ++k) {
+        const double current =
+            detect_balanced<kNoise>(*c.pd, dacc[k], tacc[k], c.bw, src);
+        double v = (current - base[k]) / c.denom_current;
+        if (c.quantize) v = c.adc->convert(v / c.adc_fs) * c.adc_fs;
+        ++wk.adc_conversions;
+        c.out[k * c.pixels + p] += v;
+      }
+    }
+    ++wk.optical_passes;
+  }
+
+  if (!c.accumulate) {
+    // Segment currents wire-sum in analog; one ADC sample per kernel.
+    for (std::size_t k = 0; k < c.K; ++k) {
+      double v = acc[k];
+      if (c.quantize) v = c.adc->convert(v / c.adc_fs) * c.adc_fs;
+      ++wk.adc_conversions;
+      const double b = c.bias ? c.bias[k] : 0.0;
+      c.out[k * c.pixels + p] = v * c.recover + b;
+    }
+  }
+}
+
+/// Drive conv_pixel over all kernel locations: sequentially (drawing noise
+/// inline from `rng`), or across fixed contiguous pixel tiles on the pool —
+/// pre-drawing the noise stream in sequential pixel order first so the
+/// fan-out cannot perturb it.
+void sweep_pixels(const SweepCtx& ctx, std::size_t workers,
+                  std::size_t draws_per_pixel, Rng& rng,
+                  EngineScratch& scratch, ThreadPool* pool) {
+  const std::size_t pixels = ctx.pixels;
+  const auto chunk = [&](std::size_t w) {
+    return ThreadPool::chunk_begin(pixels, w, workers);
+  };
+
+  // The pool may hold more threads than this layer's effective worker
+  // count (small output maps clamp it); surplus workers no-op.
+
+  if (ctx.bw == 0.0) {
+    auto tile = [&](std::size_t w) {
+      if (w >= workers) return;
+      NullNormalSource src;
+      EngineScratch::Worker& wk = scratch.workers[w];
+      for (std::size_t p = chunk(w); p < chunk(w + 1); ++p)
+        conv_pixel<false>(ctx, p, src, wk);
+    };
+    if (workers == 1) {
+      tile(0);
+    } else {
+      pool->run(tile);
+    }
+    return;
+  }
+
+  if (workers == 1) {
+    RngNormalSource src{&rng};
+    for (std::size_t p = 0; p < pixels; ++p)
+      conv_pixel<true>(ctx, p, src, scratch.workers[0]);
+    return;
+  }
+
+  // Parallel noisy path: generate the layer's standard-normal stream in the
+  // exact sequential order, then let every tile index its pixel's slice.
+  scratch.noise_z.resize(pixels * draws_per_pixel);
+  for (double& z : scratch.noise_z) z = rng.normal();
+  auto tile = [&](std::size_t w) {
+    if (w >= workers) return;
+    EngineScratch::Worker& wk = scratch.workers[w];
+    for (std::size_t p = chunk(w); p < chunk(w + 1); ++p) {
+      BufferNormalSource src{scratch.noise_z.data() + p * draws_per_pixel};
+      conv_pixel<true>(ctx, p, src, wk);
+    }
+  };
+  pool->run(tile);
+}
+
+/// Size the transposed SoA program arrays for one layer plan (K response
+/// chains per group slice).
+void size_bank_soa(const LayerPlan& plan, EngineScratch& s) {
+  const std::size_t K = plan.layer.K;
+  const std::size_t G = plan.groups.size();
+  s.group_base.assign(G + 1, 0);
+  for (std::size_t g = 0; g < G; ++g)
+    s.group_base[g + 1] = s.group_base[g] + plan.groups[g].size() * K;
+  s.drop_t.assign(s.group_base[G], 0.0);
+  s.thru_t.assign(s.group_base[G], 0.0);
+  s.baseline.assign(G * K, 0.0);
+}
+
+/// Program one bank with its weight slice (channel_offset = c * m * m for
+/// the per-channel allocation, 0 for full-kernel) and flatten the
+/// calibrated response into the transposed SoA arrays. Identical value
+/// sequence to the reference engine's per-bank programming block.
+void program_bank_soa(phot::WeightBank& bank, const LayerPlan& plan,
+                      std::size_t g, std::size_t k,
+                      std::size_t channel_offset, const nn::Tensor& weights,
+                      double w_absmax, double denom, bool quantize,
+                      const elec::Dac& weight_dac, const AnalogChain& chain,
+                      EngineScratch& s, CalibrationError& cal_err) {
+  const GroupSlice& slice = plan.groups[g];
+  const std::size_t width = slice.size();
+  const std::size_t K = plan.layer.K;
+  const std::size_t n_kernel = plan.layer.kernel_size();
+
+  s.targets.resize(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    double w = weights[k * n_kernel + channel_offset + slice.begin + i] /
+               w_absmax * denom;
+    if (quantize) w = quantize_weight(weight_dac, w);
+    s.targets[i] = w;
+  }
+  const std::vector<double> achieved = bank.calibrate(s.targets);
+  for (std::size_t i = 0; i < width; ++i)
+    cal_err.add(std::abs(achieved[i] - s.targets[i]));
+
+  s.splits.resize(width);
+  bank.channel_splits_into(s.splits);
+  double base = 0.0;
+  for (const auto& split : s.splits)
+    base += chain.dark_power * (split.drop - split.thru);
+  s.baseline[g * K + k] = chain.resp * base;
+  const std::size_t gb = s.group_base[g];
+  for (std::size_t i = 0; i < width; ++i) {
+    s.drop_t[gb + i * K + k] = s.splits[i].drop;
+    s.thru_t[gb + i * K + k] = s.splits[i].thru;
+  }
+}
+
+/// Fill the read-only sweep context from already-sized scratch. The single
+/// home of the laser-RIN sigma expression (must mirror LaserDiode::emit
+/// bit for bit).
+SweepCtx make_sweep_ctx(const LayerPlan& plan, const PcnnaConfig& cfg,
+                        const AnalogChain& chain,
+                        const phot::BalancedPhotodiode& pd,
+                        const elec::Adc& adc, double bw, double adc_fs,
+                        double recover, bool accumulate,
+                        const nn::Tensor& bias, nn::Tensor& out,
+                        EngineScratch& s) {
+  SweepCtx ctx;
+  ctx.groups = plan.groups.data();
+  ctx.n_groups = plan.groups.size();
+  ctx.transfer = s.transfer.data();
+  ctx.transfer_pad = s.transfer_pad;
+  ctx.patch = s.patch.data();
+  ctx.n_kernel = plan.layer.kernel_size();
+  ctx.drop_t = s.drop_t.data();
+  ctx.thru_t = s.thru_t.data();
+  ctx.baseline = s.baseline.data();
+  ctx.group_base = s.group_base.data();
+  ctx.K = plan.layer.K;
+  const std::size_t side = plan.layer.output_side();
+  ctx.pixels = side * side;
+  ctx.bcast = chain.bcast;
+  ctx.laser_mean = chain.p0;
+  ctx.laser_sigma =
+      bw > 0.0 ? chain.p0 * std::sqrt(from_db(cfg.laser.rin_db_per_hz) * bw)
+               : 0.0;
+  ctx.p_src0 = chain.p0 * chain.bcast;
+  ctx.pd = &pd;
+  ctx.bw = bw;
+  ctx.denom_current = chain.denom_current;
+  ctx.quantize = cfg.enable_quantization;
+  ctx.adc = &adc;
+  ctx.adc_fs = adc_fs;
+  ctx.recover = recover;
+  // Per-channel passes (accumulate) add the bias during the final rescale
+  // instead.
+  ctx.bias = (!accumulate && !bias.empty()) ? bias.data().data() : nullptr;
+  ctx.out = out.data().data();
+  ctx.accumulate = accumulate;
+  return ctx;
+}
+
+/// Per-layer patch-streaming precompute: normalize, DAC-quantize, and push
+/// every input element through the MZM transfer exactly once.
+void precompute_transfer(const nn::Tensor& input, double x_scale,
+                         bool quantize, const elec::Dac& dac,
+                         const phot::MachZehnderModulator& mzm,
+                         EngineScratch& s) {
+  const std::span<const double> in = input.data();
+  s.transfer.resize(in.size());
+  for (std::size_t e = 0; e < in.size(); ++e) {
+    double x = in[e] / x_scale;
+    if (quantize) x = dac.convert(x);
+    s.transfer[e] = mzm.transmit_fraction(x);
+  }
+  double xp = 0.0 / x_scale;
+  if (quantize) xp = dac.convert(xp);
+  s.transfer_pad = mzm.transmit_fraction(xp);
+}
+
+/// Build the im2col gather map. Receptive-field order (channel-major, then
+/// ky, then kx) mirrors nn::receptive_field.
+void build_patch_map(const nn::ConvLayerParams& layer, const nn::Shape4& in,
+                     EngineScratch& s) {
+  const std::size_t side = layer.output_side();
+  const std::size_t n_kernel = layer.kernel_size();
+  const long long H = static_cast<long long>(in.h);
+  const long long W = static_cast<long long>(in.w);
+  s.patch.resize(side * side * n_kernel);
+  std::int32_t* row = s.patch.data();
+  for (std::size_t oy = 0; oy < side; ++oy) {
+    for (std::size_t ox = 0; ox < side; ++ox) {
+      for (std::size_t c = 0; c < layer.nc; ++c) {
+        for (std::size_t ky = 0; ky < layer.m; ++ky) {
+          const long long iy = static_cast<long long>(oy * layer.s + ky) -
+                               static_cast<long long>(layer.p);
+          for (std::size_t kx = 0; kx < layer.m; ++kx) {
+            const long long ix = static_cast<long long>(ox * layer.s + kx) -
+                                 static_cast<long long>(layer.p);
+            *row++ = (iy >= 0 && iy < H && ix >= 0 && ix < W)
+                         ? static_cast<std::int32_t>(
+                               (static_cast<long long>(c) * H + iy) * W + ix)
+                         : -1;
+          }
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+void inject_stuck_faults(const PcnnaConfig& cfg, phot::WeightBank& bank,
+                         Rng& rng, EngineStats& st) {
+  if (cfg.stuck_ring_rate <= 0.0) return;
+  for (std::size_t i = 0; i < bank.channels(); ++i) {
+    if (rng.uniform() < cfg.stuck_ring_rate) {
+      bank.fail_ring(i);
+      ++st.stuck_rings;
+    }
+  }
+}
+
 double measured_usable_range(const PcnnaConfig& cfg, std::size_t channels,
                              Rng& rng) {
   PCNNA_CHECK(channels >= 1);
@@ -130,11 +516,37 @@ double measured_usable_range(const PcnnaConfig& cfg, std::size_t channels,
   return std::min(w_hi, -w_lo);
 }
 
-} // namespace
-
 OpticalConvEngine::OpticalConvEngine(PcnnaConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
   config_.validate();
+}
+
+std::size_t OpticalConvEngine::prepare_workers(std::size_t pixels,
+                                               bool fixed_draw_count,
+                                               std::size_t group_size,
+                                               std::size_t K) {
+  std::size_t n = config_.engine_threads;
+  // The parallel noisy path needs a data-independent per-pixel draw count
+  // to pre-generate the noise stream; otherwise stay sequential (outputs
+  // are identical either way — this only affects host scheduling).
+  if (config_.enable_noise && !fixed_draw_count) n = 1;
+  n = std::max<std::size_t>(1, std::min(n, pixels));
+  // The pool is created once at full engine_threads size and kept for the
+  // engine's lifetime; layers whose pixel count clamps the effective worker
+  // count below that leave the surplus workers idle for the sweep (see
+  // sweep_pixels) instead of respawning threads per layer.
+  if (n > 1 && !pool_)
+    pool_ = std::make_unique<ThreadPool>(config_.engine_threads);
+  scratch_.workers.resize(n);
+  for (EngineScratch::Worker& w : scratch_.workers) {
+    w.powers.resize(group_size);
+    w.drop_acc.resize(K);
+    w.thru_acc.resize(K);
+    w.acc.resize(K);
+    w.optical_passes = 0;
+    w.adc_conversions = 0;
+  }
+  return n;
 }
 
 nn::Tensor OpticalConvEngine::conv2d(const nn::Tensor& input,
@@ -201,6 +613,217 @@ nn::Tensor OpticalConvEngine::conv2d(const nn::Tensor& input,
   nn::Tensor out = plan.allocation == RingAllocation::kFullKernel
                        ? run_full_kernel(plan, input, weights, bias, st)
                        : run_per_channel(plan, input, weights, bias, st);
+  return out;
+}
+
+nn::Tensor OpticalConvEngine::run_full_kernel(const LayerPlan& plan,
+                                              const nn::Tensor& input,
+                                              const nn::Tensor& weights,
+                                              const nn::Tensor& bias,
+                                              EngineStats& stats) {
+  const nn::ConvLayerParams& layer = plan.layer;
+  const std::size_t K = layer.K;
+  const std::size_t n_kernel = layer.kernel_size();
+  const std::size_t side = layer.output_side();
+  const std::size_t pixels = side * side;
+
+  nn::Tensor out(nn::Shape4{1, K, side, side});
+
+  // Electronic scaling: inputs normalized to [0, 1], weights to the bank's
+  // representable range; the product is undone after detection.
+  const double x_scale = input.abs_max();
+  const double w_absmax = weights.abs_max();
+  if (x_scale == 0.0 || w_absmax == 0.0) {
+    for (std::size_t k = 0; k < K; ++k) {
+      const double b = bias.empty() ? 0.0 : bias.at(0, k, 0, 0);
+      for (std::size_t l = 0; l < pixels; ++l) out[k * pixels + l] = b;
+    }
+    return out;
+  }
+
+  const AnalogChain chain = make_chain(config_, K);
+  const phot::MachZehnderModulator mzm(config_.mzm);
+  const phot::BalancedPhotodiode pd(config_.bank.photodiode);
+  const elec::Dac input_dac(config_.input_dac);
+  const elec::Dac weight_dac(config_.weight_dac);
+  elec::AdcConfig adc_cfg = config_.adc;
+  adc_cfg.full_scale = 1.0;
+  const elec::Adc adc(adc_cfg);
+
+  // Probe the representable weight range with a scratch bank of the same
+  // width as the widest group.
+  const double usable =
+      measured_usable_range(config_, plan.group_size, rng_);
+  PCNNA_CHECK_MSG(usable > 0.0, "weight bank has no usable signed range");
+  const double denom = 0.95 * usable;
+  const double recover = x_scale * w_absmax / denom;
+
+  // --- Program every bank segment once (weights are fixed for the layer),
+  // flattening calibrated responses straight into transposed SoA form.
+  const std::size_t G = plan.groups.size();
+  size_bank_soa(plan, scratch_);
+  CalibrationError cal_err;
+  for (std::size_t g = 0; g < G; ++g) {
+    const phot::WdmGrid grid(plan.groups[g].size());
+    for (std::size_t k = 0; k < K; ++k) {
+      phot::WeightBank bank(grid, config_.bank, rng_);
+      inject_stuck_faults(config_, bank, rng_, stats);
+      program_bank_soa(bank, plan, g, k, /*channel_offset=*/0, weights,
+                       w_absmax, denom, config_.enable_quantization,
+                       weight_dac, chain, scratch_, cal_err);
+      ++stats.banks_built;
+      stats.total_heater_power += bank.total_heater_power();
+      stats.total_ring_area += bank.total_area();
+    }
+  }
+
+  const double bw = config_.enable_noise ? config_.fast_clock : 0.0;
+  // Per-layer ADC range calibration from weight and input statistics.
+  const double mean_w_sq =
+      mean_square_scaled(weights.data(), w_absmax) * denom * denom;
+  const double mean_x_sq = mean_square_scaled(input.data(), x_scale);
+  const double adc_fs =
+      adc_full_scale(config_.adc_headroom, n_kernel, mean_x_sq, mean_w_sq);
+
+  precompute_transfer(input, x_scale, config_.enable_quantization, input_dac,
+                      mzm, scratch_);
+  build_patch_map(layer, input.shape(), scratch_);
+
+  const std::size_t branch_draws = pd_draws_per_branch(config_.bank.photodiode);
+  const std::size_t draws_per_pixel = n_kernel + 2 * branch_draws * K * G;
+  const std::size_t workers =
+      prepare_workers(pixels, pd_draw_count_fixed(config_.bank.photodiode),
+                      plan.group_size, K);
+  const SweepCtx ctx =
+      make_sweep_ctx(plan, config_, chain, pd, adc, bw, adc_fs, recover,
+                     /*accumulate=*/false, bias, out, scratch_);
+
+  sweep_pixels(ctx, workers, draws_per_pixel, rng_, scratch_, pool_.get());
+
+  for (const EngineScratch::Worker& w : scratch_.workers) {
+    stats.optical_passes += w.optical_passes;
+    stats.adc_conversions += w.adc_conversions;
+  }
+
+  if (cal_err.count > 0) {
+    stats.mean_calibration_error = cal_err.sum / static_cast<double>(cal_err.count);
+    stats.max_calibration_error = cal_err.max;
+  }
+  return out;
+}
+
+nn::Tensor OpticalConvEngine::run_per_channel(const LayerPlan& plan,
+                                              const nn::Tensor& input,
+                                              const nn::Tensor& weights,
+                                              const nn::Tensor& bias,
+                                              EngineStats& stats) {
+  const nn::ConvLayerParams& layer = plan.layer;
+  const std::size_t K = layer.K;
+  const std::size_t per_channel = layer.m * layer.m;
+  const std::size_t side = layer.output_side();
+  const std::size_t pixels = side * side;
+
+  nn::Tensor out(nn::Shape4{1, K, side, side});
+
+  const double x_scale = input.abs_max();
+  const double w_absmax = weights.abs_max();
+  if (x_scale == 0.0 || w_absmax == 0.0) {
+    for (std::size_t k = 0; k < K; ++k) {
+      const double b = bias.empty() ? 0.0 : bias.at(0, k, 0, 0);
+      for (std::size_t l = 0; l < pixels; ++l) out[k * pixels + l] = b;
+    }
+    return out;
+  }
+
+  const AnalogChain chain = make_chain(config_, K);
+  const phot::MachZehnderModulator mzm(config_.mzm);
+  const phot::BalancedPhotodiode pd(config_.bank.photodiode);
+  const elec::Dac input_dac(config_.input_dac);
+  const elec::Dac weight_dac(config_.weight_dac);
+  elec::AdcConfig adc_cfg = config_.adc;
+  adc_cfg.full_scale = 1.0;
+  const elec::Adc adc(adc_cfg);
+
+  const double usable =
+      measured_usable_range(config_, plan.group_size, rng_);
+  PCNNA_CHECK_MSG(usable > 0.0, "weight bank has no usable signed range");
+  const double denom = 0.95 * usable;
+  const double recover = x_scale * w_absmax / denom;
+
+  // Persistent banks (K per group slice of the m*m block), retuned per
+  // channel pass — the physical rings live across recalibrations.
+  const std::size_t G = plan.groups.size();
+  std::vector<std::vector<phot::WeightBank>> banks(G);
+  for (std::size_t g = 0; g < G; ++g) {
+    const phot::WdmGrid grid(plan.groups[g].size());
+    banks[g].reserve(K);
+    for (std::size_t k = 0; k < K; ++k) {
+      banks[g].emplace_back(grid, config_.bank, rng_);
+      inject_stuck_faults(config_, banks[g].back(), rng_, stats);
+      ++stats.banks_built;
+      stats.total_ring_area += banks[g].back().total_area();
+    }
+  }
+
+  const double bw = config_.enable_noise ? config_.fast_clock : 0.0;
+  // Per-layer ADC range calibration (per-channel passes sum m*m terms).
+  const double mean_w_sq =
+      mean_square_scaled(weights.data(), w_absmax) * denom * denom;
+  const double mean_x_sq = mean_square_scaled(input.data(), x_scale);
+  const double adc_fs =
+      adc_full_scale(config_.adc_headroom, per_channel, mean_x_sq, mean_w_sq);
+
+  size_bank_soa(plan, scratch_);
+  precompute_transfer(input, x_scale, config_.enable_quantization, input_dac,
+                      mzm, scratch_);
+  build_patch_map(layer, input.shape(), scratch_);
+
+  const std::size_t branch_draws = pd_draws_per_branch(config_.bank.photodiode);
+  const std::size_t draws_per_pixel = per_channel + 2 * branch_draws * K * G;
+  const std::size_t workers =
+      prepare_workers(pixels, pd_draw_count_fixed(config_.bank.photodiode),
+                      plan.group_size, K);
+  SweepCtx ctx =
+      make_sweep_ctx(plan, config_, chain, pd, adc, bw, adc_fs, recover,
+                     /*accumulate=*/true, bias, out, scratch_);
+
+  // Channel-major execution: retune, then sweep all locations.
+  CalibrationError cal_err;
+  for (std::size_t c = 0; c < layer.nc; ++c) {
+    for (std::size_t g = 0; g < G; ++g) {
+      for (std::size_t k = 0; k < K; ++k) {
+        program_bank_soa(banks[g][k], plan, g, k,
+                         /*channel_offset=*/c * per_channel, weights,
+                         w_absmax, denom, config_.enable_quantization,
+                         weight_dac, chain, scratch_, cal_err);
+      }
+    }
+
+    ctx.patch_offset = c * per_channel;
+    sweep_pixels(ctx, workers, draws_per_pixel, rng_, scratch_, pool_.get());
+  }
+
+  // Undo scaling and add biases once all channel passes have accumulated.
+  for (std::size_t k = 0; k < K; ++k) {
+    const double b = bias.empty() ? 0.0 : bias.at(0, k, 0, 0);
+    for (std::size_t oy = 0; oy < side; ++oy)
+      for (std::size_t ox = 0; ox < side; ++ox)
+        out.at(0, k, oy, ox) = out.at(0, k, oy, ox) * recover + b;
+  }
+
+  for (const auto& group : banks)
+    for (const auto& bank : group)
+      stats.total_heater_power += bank.total_heater_power();
+
+  for (const EngineScratch::Worker& w : scratch_.workers) {
+    stats.optical_passes += w.optical_passes;
+    stats.adc_conversions += w.adc_conversions;
+  }
+
+  if (cal_err.count > 0) {
+    stats.mean_calibration_error = cal_err.sum / static_cast<double>(cal_err.count);
+    stats.max_calibration_error = cal_err.max;
+  }
   return out;
 }
 
@@ -278,7 +901,7 @@ nn::Tensor OpticalConvEngine::fully_connected(const nn::Tensor& input,
 
     for (std::size_t o = 0; o < out_n; ++o) {
       phot::WeightBank bank(grid, config_.bank, rng_);
-      inject_faults(config_, bank, rng_, st);
+      inject_stuck_faults(config_, bank, rng_, st);
       std::vector<double> targets(width);
       for (std::size_t i = 0; i < width; ++i) {
         double w = weights[o * in + begin + i] / w_absmax * denom;
@@ -315,295 +938,6 @@ nn::Tensor OpticalConvEngine::fully_connected(const nn::Tensor& input,
   if (cal_err.count > 0) {
     st.mean_calibration_error = cal_err.sum / static_cast<double>(cal_err.count);
     st.max_calibration_error = cal_err.max;
-  }
-  return out;
-}
-
-nn::Tensor OpticalConvEngine::run_full_kernel(const LayerPlan& plan,
-                                              const nn::Tensor& input,
-                                              const nn::Tensor& weights,
-                                              const nn::Tensor& bias,
-                                              EngineStats& stats) {
-  const nn::ConvLayerParams& layer = plan.layer;
-  const std::size_t K = layer.K;
-  const std::size_t n_kernel = layer.kernel_size();
-  const std::size_t side = layer.output_side();
-
-  nn::Tensor out(nn::Shape4{1, K, side, side});
-
-  // Electronic scaling: inputs normalized to [0, 1], weights to the bank's
-  // representable range; the product is undone after detection.
-  const double x_scale = input.abs_max();
-  const double w_absmax = weights.abs_max();
-  if (x_scale == 0.0 || w_absmax == 0.0) {
-    for (std::size_t k = 0; k < K; ++k) {
-      const double b = bias.empty() ? 0.0 : bias.at(0, k, 0, 0);
-      for (std::size_t l = 0; l < side * side; ++l) out[k * side * side + l] = b;
-    }
-    return out;
-  }
-
-  const AnalogChain chain = make_chain(config_, K);
-  const phot::LaserDiode laser(config_.laser);
-  const phot::MachZehnderModulator mzm(config_.mzm);
-  const phot::BalancedPhotodiode pd(config_.bank.photodiode);
-  const elec::Dac input_dac(config_.input_dac);
-  const elec::Dac weight_dac(config_.weight_dac);
-  elec::AdcConfig adc_cfg = config_.adc;
-  adc_cfg.full_scale = 1.0;
-  const elec::Adc adc(adc_cfg);
-
-  // Probe the representable weight range with a scratch bank of the same
-  // width as the widest group.
-  const double usable =
-      measured_usable_range(config_, plan.group_size, rng_);
-  PCNNA_CHECK_MSG(usable > 0.0, "weight bank has no usable signed range");
-  const double denom = 0.95 * usable;
-  const double recover = x_scale * w_absmax / denom;
-
-  // --- Program every bank segment once (weights are fixed for the layer).
-  CalibrationError cal_err;
-  std::vector<std::vector<BankProgram>> programs(plan.groups.size());
-  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
-    const GroupSlice& slice = plan.groups[g];
-    const phot::WdmGrid grid(slice.size());
-    programs[g].reserve(K);
-    for (std::size_t k = 0; k < K; ++k) {
-      phot::WeightBank bank(grid, config_.bank, rng_);
-      inject_faults(config_, bank, rng_, stats);
-      std::vector<double> targets(slice.size());
-      for (std::uint64_t i = 0; i < slice.size(); ++i) {
-        double w = weights[k * n_kernel + slice.begin + i] / w_absmax * denom;
-        if (config_.enable_quantization) w = quantize_weight(weight_dac, w);
-        targets[i] = w;
-      }
-      const std::vector<double> achieved = bank.calibrate(targets);
-      for (std::uint64_t i = 0; i < slice.size(); ++i)
-        cal_err.add(std::abs(achieved[i] - targets[i]));
-
-      BankProgram prog;
-      prog.splits = bank.channel_splits();
-      double base = 0.0;
-      for (const auto& split : prog.splits)
-        base += chain.dark_power * (split.drop - split.thru);
-      prog.baseline_current = chain.resp * base;
-      prog.heater_power = bank.total_heater_power();
-      prog.area = bank.total_area();
-      programs[g].push_back(std::move(prog));
-
-      ++stats.banks_built;
-      stats.total_heater_power += prog.heater_power;
-      stats.total_ring_area += prog.area;
-    }
-  }
-
-  const double bw = config_.enable_noise ? config_.fast_clock : 0.0;
-  // Per-layer ADC range calibration from weight and input statistics.
-  const double mean_w_sq =
-      mean_square_scaled(weights.data(), w_absmax) * denom * denom;
-  const double mean_x_sq = mean_square_scaled(input.data(), x_scale);
-  const double adc_fs =
-      adc_full_scale(config_.adc_headroom, n_kernel, mean_x_sq, mean_w_sq);
-
-  std::vector<double> x_norm(n_kernel);
-  std::vector<double> powers;
-  std::vector<double> acc(K);
-
-  // --- Sequential kernel locations; all K banks in parallel per location.
-  for (std::size_t oy = 0; oy < side; ++oy) {
-    for (std::size_t ox = 0; ox < side; ++ox) {
-      const std::vector<double> field =
-          nn::receptive_field(input, layer.m, layer.s, layer.p, oy, ox);
-      for (std::size_t i = 0; i < n_kernel; ++i) {
-        double x = field[i] / x_scale;
-        if (config_.enable_quantization) x = input_dac.convert(x);
-        x_norm[i] = x;
-      }
-      std::fill(acc.begin(), acc.end(), 0.0);
-
-      for (std::size_t g = 0; g < plan.groups.size(); ++g) {
-        const GroupSlice& slice = plan.groups[g];
-        powers.resize(slice.size());
-        for (std::uint64_t i = 0; i < slice.size(); ++i) {
-          const double p_src = laser.emit(bw, rng_) * chain.bcast;
-          powers[i] = mzm.modulate(p_src, x_norm[slice.begin + i]);
-        }
-        for (std::size_t k = 0; k < K; ++k) {
-          const BankProgram& prog = programs[g][k];
-          double p_drop = 0.0, p_thru = 0.0;
-          for (std::uint64_t i = 0; i < slice.size(); ++i) {
-            p_drop += powers[i] * prog.splits[i].drop;
-            p_thru += powers[i] * prog.splits[i].thru;
-          }
-          const double current = pd.detect(p_drop, p_thru, bw, rng_);
-          acc[k] += (current - prog.baseline_current) / chain.denom_current;
-        }
-        ++stats.optical_passes;
-      }
-
-      for (std::size_t k = 0; k < K; ++k) {
-        // Segment currents wire-sum in analog; one ADC sample per kernel.
-        double v = acc[k];
-        if (config_.enable_quantization) v = adc.convert(v / adc_fs) * adc_fs;
-        ++stats.adc_conversions;
-        const double b = bias.empty() ? 0.0 : bias.at(0, k, 0, 0);
-        out.at(0, k, oy, ox) = v * recover + b;
-      }
-    }
-  }
-
-  if (cal_err.count > 0) {
-    stats.mean_calibration_error = cal_err.sum / static_cast<double>(cal_err.count);
-    stats.max_calibration_error = cal_err.max;
-  }
-  return out;
-}
-
-nn::Tensor OpticalConvEngine::run_per_channel(const LayerPlan& plan,
-                                              const nn::Tensor& input,
-                                              const nn::Tensor& weights,
-                                              const nn::Tensor& bias,
-                                              EngineStats& stats) {
-  const nn::ConvLayerParams& layer = plan.layer;
-  const std::size_t K = layer.K;
-  const std::size_t per_channel = layer.m * layer.m;
-  const std::size_t n_kernel = layer.kernel_size();
-  const std::size_t side = layer.output_side();
-
-  nn::Tensor out(nn::Shape4{1, K, side, side});
-
-  const double x_scale = input.abs_max();
-  const double w_absmax = weights.abs_max();
-  if (x_scale == 0.0 || w_absmax == 0.0) {
-    for (std::size_t k = 0; k < K; ++k) {
-      const double b = bias.empty() ? 0.0 : bias.at(0, k, 0, 0);
-      for (std::size_t l = 0; l < side * side; ++l) out[k * side * side + l] = b;
-    }
-    return out;
-  }
-
-  const AnalogChain chain = make_chain(config_, K);
-  const phot::LaserDiode laser(config_.laser);
-  const phot::MachZehnderModulator mzm(config_.mzm);
-  const phot::BalancedPhotodiode pd(config_.bank.photodiode);
-  const elec::Dac input_dac(config_.input_dac);
-  const elec::Dac weight_dac(config_.weight_dac);
-  elec::AdcConfig adc_cfg = config_.adc;
-  adc_cfg.full_scale = 1.0;
-  const elec::Adc adc(adc_cfg);
-
-  const double usable =
-      measured_usable_range(config_, plan.group_size, rng_);
-  PCNNA_CHECK_MSG(usable > 0.0, "weight bank has no usable signed range");
-  const double denom = 0.95 * usable;
-  const double recover = x_scale * w_absmax / denom;
-
-  // Persistent banks (K per group slice of the m*m block), retuned per
-  // channel pass — the physical rings live across recalibrations.
-  std::vector<std::vector<phot::WeightBank>> banks(plan.groups.size());
-  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
-    const phot::WdmGrid grid(plan.groups[g].size());
-    banks[g].reserve(K);
-    for (std::size_t k = 0; k < K; ++k) {
-      banks[g].emplace_back(grid, config_.bank, rng_);
-      inject_faults(config_, banks[g].back(), rng_, stats);
-      ++stats.banks_built;
-      stats.total_ring_area += banks[g].back().total_area();
-    }
-  }
-
-  const double bw = config_.enable_noise ? config_.fast_clock : 0.0;
-  // Per-layer ADC range calibration (per-channel passes sum m*m terms).
-  const double mean_w_sq =
-      mean_square_scaled(weights.data(), w_absmax) * denom * denom;
-  const double mean_x_sq = mean_square_scaled(input.data(), x_scale);
-  const double adc_fs =
-      adc_full_scale(config_.adc_headroom, per_channel, mean_x_sq, mean_w_sq);
-
-  CalibrationError cal_err;
-  std::vector<std::vector<BankProgram>> programs(
-      plan.groups.size(), std::vector<BankProgram>(K));
-  std::vector<double> x_norm(per_channel);
-  std::vector<double> powers;
-
-  // Channel-major execution: retune, then sweep all locations.
-  for (std::size_t c = 0; c < layer.nc; ++c) {
-    for (std::size_t g = 0; g < plan.groups.size(); ++g) {
-      const GroupSlice& slice = plan.groups[g];
-      for (std::size_t k = 0; k < K; ++k) {
-        std::vector<double> targets(slice.size());
-        for (std::uint64_t i = 0; i < slice.size(); ++i) {
-          double w = weights[k * n_kernel + c * per_channel + slice.begin + i] /
-                     w_absmax * denom;
-          if (config_.enable_quantization) w = quantize_weight(weight_dac, w);
-          targets[i] = w;
-        }
-        const std::vector<double> achieved = banks[g][k].calibrate(targets);
-        for (std::uint64_t i = 0; i < slice.size(); ++i)
-          cal_err.add(std::abs(achieved[i] - targets[i]));
-
-        BankProgram& prog = programs[g][k];
-        prog.splits = banks[g][k].channel_splits();
-        double base = 0.0;
-        for (const auto& split : prog.splits)
-          base += chain.dark_power * (split.drop - split.thru);
-        prog.baseline_current = chain.resp * base;
-      }
-    }
-
-    for (std::size_t oy = 0; oy < side; ++oy) {
-      for (std::size_t ox = 0; ox < side; ++ox) {
-        const std::vector<double> field =
-            nn::receptive_field(input, layer.m, layer.s, layer.p, oy, ox);
-        for (std::size_t i = 0; i < per_channel; ++i) {
-          double x = field[c * per_channel + i] / x_scale;
-          if (config_.enable_quantization) x = input_dac.convert(x);
-          x_norm[i] = x;
-        }
-        for (std::size_t g = 0; g < plan.groups.size(); ++g) {
-          const GroupSlice& slice = plan.groups[g];
-          powers.resize(slice.size());
-          for (std::uint64_t i = 0; i < slice.size(); ++i) {
-            const double p_src = laser.emit(bw, rng_) * chain.bcast;
-            powers[i] = mzm.modulate(p_src, x_norm[slice.begin + i]);
-          }
-          for (std::size_t k = 0; k < K; ++k) {
-            const BankProgram& prog = programs[g][k];
-            double p_drop = 0.0, p_thru = 0.0;
-            for (std::uint64_t i = 0; i < slice.size(); ++i) {
-              p_drop += powers[i] * prog.splits[i].drop;
-              p_thru += powers[i] * prog.splits[i].thru;
-            }
-            const double current = pd.detect(p_drop, p_thru, bw, rng_);
-            double v = (current - prog.baseline_current) / chain.denom_current;
-            // Per-channel partial sums are digitized every pass and
-            // accumulated electronically.
-            if (config_.enable_quantization)
-              v = adc.convert(v / adc_fs) * adc_fs;
-            ++stats.adc_conversions;
-            out.at(0, k, oy, ox) += v;
-          }
-          ++stats.optical_passes;
-        }
-      }
-    }
-  }
-
-  // Undo scaling and add biases once all channel passes have accumulated.
-  for (std::size_t k = 0; k < K; ++k) {
-    const double b = bias.empty() ? 0.0 : bias.at(0, k, 0, 0);
-    for (std::size_t oy = 0; oy < side; ++oy)
-      for (std::size_t ox = 0; ox < side; ++ox)
-        out.at(0, k, oy, ox) = out.at(0, k, oy, ox) * recover + b;
-  }
-
-  for (const auto& group : banks)
-    for (const auto& bank : group)
-      stats.total_heater_power += bank.total_heater_power();
-
-  if (cal_err.count > 0) {
-    stats.mean_calibration_error = cal_err.sum / static_cast<double>(cal_err.count);
-    stats.max_calibration_error = cal_err.max;
   }
   return out;
 }

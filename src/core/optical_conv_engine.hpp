@@ -14,10 +14,35 @@
 // bank passes whose balanced-photodiode currents wire-sum in analog
 // (full-kernel allocation) or into per-channel passes with electronic
 // partial-sum accumulation (per-channel allocation).
+//
+// Hot-path organization (PR 3 rewrite; docs/architecture.md "Engine hot
+// path" has the full argument):
+//
+//  * patch streaming — the DAC quantization and MZM transfer of every input
+//    element are evaluated once per layer into a lookup table, and the
+//    per-pixel receptive field becomes a precomputed im2col-style index
+//    gather; nothing per-pixel re-derives per-element values;
+//  * layer-lifetime scratch — every buffer the per-pixel loop touches lives
+//    in an EngineScratch owned by the engine and reused across pixels,
+//    layers, and conv2d calls; the oy/ox loops allocate nothing;
+//  * structure-of-arrays bank programs — calibrated bank responses are
+//    flattened into transposed drop/through arrays so the per-pixel MAC is
+//    a branch-free linear pass over contiguous memory with K independent
+//    accumulation chains;
+//  * optional deterministic intra-image parallelism — kernel locations are
+//    partitioned into fixed tiles across PcnnaConfig::engine_threads
+//    workers. Outputs are bit-identical for every thread count: per-pixel
+//    accumulation order is unchanged, and with noise enabled the per-pixel
+//    RNG draws are pre-generated in sequential pixel order before the tiles
+//    fan out (tests/test_engine_hot_path.cpp proves A/B bit-identity
+//    against the frozen pre-rewrite engine in engine_reference.hpp).
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/config.hpp"
 #include "core/scheduler.hpp"
@@ -41,6 +66,77 @@ struct EngineStats {
   double max_calibration_error = 0.0;
   double total_heater_power = 0.0;     ///< [W] summed over all banks
   double total_ring_area = 0.0;        ///< [m^2]
+};
+
+/// Failure injection: freeze each ring's heater at its parked drive with
+/// probability PcnnaConfig::stuck_ring_rate.
+///
+/// Draw-order contract (pinned by EngineRngContract tests): when
+/// stuck_ring_rate > 0 this consumes exactly one rng.uniform() per ring, in
+/// ascending ring index, regardless of whether the ring ends up stuck; when
+/// stuck_ring_rate <= 0 it consumes nothing. The engine calls it only
+/// during sequential layer setup (bank construction order), never from the
+/// pixel loops, so intra-image parallelism cannot perturb fault patterns.
+void inject_stuck_faults(const PcnnaConfig& cfg, phot::WeightBank& bank,
+                         Rng& rng, EngineStats& st);
+
+/// Empirically measure the symmetric weight range a bank of `channels`
+/// rings can represent: program every ring to the positive/negative
+/// extreme and probe the middle channel. Accounts for the cumulative
+/// through-path insertion loss and crosstalk that the single-ring closed
+/// form misses.
+///
+/// Draw-order contract (pinned by EngineRngContract tests): consumes
+/// exactly the fabrication draws of constructing one `channels`-ring bank —
+/// one rng.normal() per ring in ascending ring index when
+/// bank.ring.fab_sigma > 0, nothing otherwise. The probe calibrations and
+/// weight queries draw nothing. Called once per conv2d invocation, before
+/// any layer banks are built.
+double measured_usable_range(const PcnnaConfig& cfg, std::size_t channels,
+                             Rng& rng);
+
+/// Layer-lifetime scratch of the engine hot path. Owned by the engine and
+/// reused across conv2d calls; per-layer precomputes are rebuilt at the top
+/// of each call, per-worker buffers are resized (capacity persists) and
+/// nothing inside the per-pixel loops allocates.
+struct EngineScratch {
+  // --- per-layer precomputes (patch-streaming pipeline) ---
+  /// MZM transmit fraction of every input element after normalization and
+  /// (optional) input-DAC quantization; evaluated once per layer.
+  std::vector<double> transfer;
+  /// Transmit fraction of a zero-padded element.
+  double transfer_pad = 0.0;
+  /// im2col-style gather map: for output pixel p and flattened
+  /// receptive-field position r, patch[p * n_kernel + r] is the flat input
+  /// element index, or -1 for zero padding. Receptive-field order matches
+  /// nn::receptive_field (channel-major, then ky, then kx).
+  std::vector<std::int32_t> patch;
+  /// Transposed structure-of-arrays bank programs: for group g, channel i,
+  /// kernel k, the drop/through response lives at
+  /// group_base[g] + i * K + k (contiguous in k so the per-pixel MAC keeps
+  /// K independent accumulation chains on contiguous memory).
+  std::vector<double> drop_t, thru_t;
+  /// Balanced baseline current per (group, kernel): baseline[g * K + k].
+  std::vector<double> baseline;
+  std::vector<std::size_t> group_base;
+  /// Pre-drawn standard normals for the parallel noisy path, in sequential
+  /// pixel order (see docs/architecture.md for the determinism argument).
+  std::vector<double> noise_z;
+
+  // --- calibration staging (layer setup only) ---
+  std::vector<double> targets;
+  std::vector<phot::WeightBank::ChannelSplit> splits;
+
+  // --- per-worker hot-loop buffers ---
+  struct Worker {
+    std::vector<double> powers;          ///< modulated powers of one group
+    std::vector<double> drop_acc;        ///< per-kernel drop-bus dot product
+    std::vector<double> thru_acc;        ///< per-kernel through-bus dot product
+    std::vector<double> acc;             ///< per-kernel normalized MAC
+    std::uint64_t optical_passes = 0;
+    std::uint64_t adc_conversions = 0;
+  };
+  std::vector<Worker> workers;
 };
 
 class OpticalConvEngine {
@@ -84,8 +180,16 @@ class OpticalConvEngine {
                              const nn::Tensor& weights, const nn::Tensor& bias,
                              EngineStats& stats);
 
+  /// Decide the worker count for one layer's pixel sweep and make the pool
+  /// and per-worker scratch (sized for `group_size` channels and K kernel
+  /// accumulators) match it.
+  std::size_t prepare_workers(std::size_t pixels, bool fixed_draw_count,
+                              std::size_t group_size, std::size_t K);
+
   PcnnaConfig config_;
   Rng rng_;
+  EngineScratch scratch_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 } // namespace pcnna::core

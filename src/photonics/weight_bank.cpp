@@ -108,15 +108,22 @@ std::vector<double> WeightBank::effective_weights() const {
 
 std::vector<WeightBank::ChannelSplit> WeightBank::channel_splits() const {
   std::vector<ChannelSplit> splits(rings_.size());
+  channel_splits_into(splits);
+  return splits;
+}
+
+void WeightBank::channel_splits_into(std::span<ChannelSplit> out) const {
+  PCNNA_CHECK_MSG(out.size() == rings_.size(),
+                  "split buffer has " << out.size() << " entries, bank has "
+                                      << rings_.size());
   WdmSignal probe(rings_.size());
   for (std::size_t i = 0; i < rings_.size(); ++i) {
     probe[i] = 1.0;
     double drop = 0.0, thru = 0.0;
     propagate(probe, drop, thru);
-    splits[i] = ChannelSplit{drop, thru};
+    out[i] = ChannelSplit{drop, thru};
     probe[i] = 0.0;
   }
-  return splits;
 }
 
 void WeightBank::propagate(const WdmSignal& in, double& drop_total,

@@ -74,6 +74,13 @@ class WeightBank {
   };
   std::vector<ChannelSplit> channel_splits() const;
 
+  /// Allocation-free variant for hot paths that snapshot bank responses
+  /// after every recalibration (e.g. the engine's per-channel allocation,
+  /// which retunes nc times per layer): writes the splits of all channels
+  /// into `out`, which must have channels() entries. Identical values to
+  /// channel_splits().
+  void channel_splits_into(std::span<ChannelSplit> out) const;
+
   /// Split an input bundle into total drop-bus and through-bus power [W].
   /// With crosstalk modeling the bundle passes the rings sequentially.
   void propagate(const WdmSignal& in, double& drop_total,

@@ -11,9 +11,22 @@
 
 namespace pcnna::runtime {
 
+namespace {
+
+/// BatchRunnerOptions::engine_threads > 0 overrides the config's
+/// intra-image engine parallelism for every PCU of the fleet.
+core::PcnnaConfig apply_engine_threads(core::PcnnaConfig config,
+                                       const BatchRunnerOptions& options) {
+  if (options.engine_threads > 0)
+    config.engine_threads = options.engine_threads;
+  return config;
+}
+
+} // namespace
+
 BatchRunner::BatchRunner(core::PcnnaConfig config, nn::Network net,
                          nn::NetWeights weights, BatchRunnerOptions options)
-    : config_(std::move(config)),
+    : config_(apply_engine_threads(std::move(config), options)),
       net_(std::move(net)),
       weights_(std::move(weights)),
       options_(options),

@@ -59,6 +59,12 @@ struct BatchRunnerOptions {
   /// Base seed; per-request engine seeds derive from it (SplitMix64), so
   /// the whole batch is reproducible from this one number.
   std::uint64_t seed = 1;
+  /// Intra-image engine threads per PCU (> 0 overrides
+  /// PcnnaConfig::engine_threads for every PCU). Outputs are bit-identical
+  /// for any value; this trades host cores between request-level sharding
+  /// (num_pcus workers) and per-image latency. The host runs up to
+  /// num_pcus * engine_threads simulation threads at once.
+  std::size_t engine_threads = 0;
 };
 
 /// Fleet-level serving summary. All times are simulated hardware seconds

@@ -71,7 +71,11 @@ class Pcu {
   /// Precondition: the request's input matches the network's input shape
   /// (throws pcnna::Error otherwise). Not thread-safe per Pcu — each Pcu
   /// is owned by exactly one PcuPool worker thread at a time; distinct
-  /// Pcus may serve concurrently.
+  /// Pcus may serve concurrently. Internally the accelerator engine may
+  /// additionally fan one request's pixel sweep across
+  /// PcnnaConfig::engine_threads workers (BatchRunnerOptions::engine_threads
+  /// sets it fleet-wide); that intra-image parallelism is deterministic and
+  /// does not change any output bit.
   RequestResult serve(const InferenceRequest& request, bool simulate_values);
 
   // The four accessors below are precomputed per-model constants (set at

@@ -6,6 +6,7 @@
 #include "core/throughput.hpp"
 #include "nn/models.hpp"
 #include "nn/synth.hpp"
+#include "runtime/batch_runner.hpp"
 
 namespace {
 
@@ -108,26 +109,64 @@ TEST(Accelerator, MismatchedInputThrows) {
   EXPECT_THROW(acc.run(d.net, d.weights, bad), Error);
 }
 
-TEST(Accelerator, BatchReportScalesLinearly) {
-  Accelerator acc(PcnnaConfig::paper_defaults());
-  const nn::Network net = nn::alexnet();
-  const auto one = acc.run_batch(net, 1);
-  const auto many = acc.run_batch(net, 64);
-  EXPECT_DOUBLE_EQ(one.time_per_image, many.time_per_image);
-  EXPECT_NEAR(64.0 * one.total_time, many.total_time, 1e-15);
-  EXPECT_DOUBLE_EQ(one.images_per_second, many.images_per_second);
-  EXPECT_THROW(acc.run_batch(net, 0), Error);
+// Batch aggregates moved off the deprecated Accelerator::run_batch onto
+// runtime::BatchRunner / FleetReport (ROADMAP deprecation plan step 1):
+// request_time_serial is the old time_per_image, makespan_sequential the
+// old total_time.
+TEST(Accelerator, FleetReportBatchScalesLinearly) {
+  const NetData d = make_tiny();
+  runtime::BatchRunnerOptions options;
+  options.num_pcus = 1;
+  options.fidelity = TimingFidelity::kPaper;
+  options.simulate_values = false;
+  options.double_buffer = false;
+  runtime::BatchRunner runner(PcnnaConfig::paper_defaults(), d.net, d.weights,
+                              options);
+
+  runtime::FleetReport one, many;
+  runner.run({d.input}, &one);
+  runner.run(std::vector<nn::Tensor>(6, d.input), &many);
+  EXPECT_DOUBLE_EQ(one.request_time_serial, many.request_time_serial);
+  EXPECT_NEAR(6.0 * one.makespan_sequential, many.makespan_sequential,
+              1e-12 * many.makespan_sequential);
+  EXPECT_DOUBLE_EQ(one.energy_per_request, many.energy_per_request);
+  EXPECT_GT(one.request_time_serial, 0.0);
 }
 
-TEST(Accelerator, BatchMatchesSingleCorePipelineInterval) {
+// Deliberate behavior change from the deprecated run_batch (which threw on
+// zero images): for a serving fleet an empty batch is a valid degenerate
+// case — no requests, no results, a zero-request report.
+TEST(Accelerator, FleetReportEmptyBatchIsValid) {
+  const NetData d = make_tiny();
+  runtime::BatchRunnerOptions options;
+  options.num_pcus = 1;
+  options.simulate_values = false;
+  runtime::BatchRunner runner(PcnnaConfig::paper_defaults(), d.net, d.weights,
+                              options);
+  runtime::FleetReport report;
+  const auto results = runner.run({}, &report);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(0u, report.requests);
+  EXPECT_DOUBLE_EQ(0.0, report.makespan);
+}
+
+TEST(Accelerator, FleetReportMatchesSingleCorePipelineInterval) {
   // Cross-check with ThroughputModel: one core's pipeline interval equals
-  // the sequential per-image conv time.
-  Accelerator acc(PcnnaConfig::paper_defaults());
-  const nn::Network net = nn::alexnet();
-  const auto batch = acc.run_batch(net, 1);
+  // the sequential per-image conv time reported by the fleet.
+  const NetData d = make_tiny();
+  runtime::BatchRunnerOptions options;
+  options.num_pcus = 1;
+  options.fidelity = TimingFidelity::kPaper;
+  options.simulate_values = false;
+  options.double_buffer = false;
+  runtime::BatchRunner runner(PcnnaConfig::paper_defaults(), d.net, d.weights,
+                              options);
+  runtime::FleetReport report;
+  runner.run({d.input}, &report);
+
   const core::ThroughputModel throughput(PcnnaConfig::paper_defaults());
-  const auto pipeline = throughput.pipeline(net.conv_layers(), 1);
-  EXPECT_NEAR(pipeline.interval, batch.time_per_image,
+  const auto pipeline = throughput.pipeline(d.net.conv_layers(), 1);
+  EXPECT_NEAR(pipeline.interval, report.request_time_serial,
               1e-12 * pipeline.interval);
 }
 
