@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
-"""Fail on dead relative links in README.md and docs/*.md.
+"""Fail on dead relative links in README.md / docs/*.md, and on orphans.
 
-Stdlib only (CI's docs job runs it with a bare python3). Checks every
-inline markdown link [text](target) whose target is not an absolute URL
-or in-page anchor: the target path, resolved against the linking file's
-directory, must exist in the repo. Prints one line per dead link and
-exits nonzero if any were found.
+Stdlib only (CI's docs job runs it with a bare python3). Two checks:
+
+1. Dead links: every inline markdown link [text](target) whose target is
+   not an absolute URL or in-page anchor must resolve (relative to the
+   linking file's directory) to a path that exists inside the repo.
+2. Orphan docs: every docs/*.md file must be reachable from README.md by
+   following relative markdown links between .md files — a doc nobody
+   links to is a doc nobody reads, and it silently rots.
+
+Prints one line per problem and exits nonzero if any were found.
 """
 
 import re
@@ -16,16 +21,26 @@ LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 
 
-def check_file(md: Path, repo_root: Path) -> list[str]:
-    dead = []
+def md_links(md: Path) -> list[tuple[str, str, int]]:
+    """(path, original target, 1-based line) per relative link in `md`,
+    with URL/anchor targets skipped and in-file anchors dropped from
+    `path`."""
     text = md.read_text(encoding="utf-8")
+    links = []
     for match in LINK.finditer(text):
         target = match.group(1)
         if target.startswith(SKIP_PREFIXES):
             continue
         path = target.split("#", 1)[0]  # drop in-file anchors
-        if not path:
-            continue
+        if path:
+            line = text.count("\n", 0, match.start()) + 1
+            links.append((path, target, line))
+    return links
+
+
+def check_file(md: Path, repo_root: Path) -> list[str]:
+    dead = []
+    for path, target, line in md_links(md):
         resolved = (md.parent / path).resolve()
         try:
             resolved.relative_to(repo_root.resolve())
@@ -33,29 +48,49 @@ def check_file(md: Path, repo_root: Path) -> list[str]:
             dead.append(f"{md}: link escapes the repo: {target}")
             continue
         if not resolved.exists():
-            line = text.count("\n", 0, match.start()) + 1
             dead.append(f"{md}:{line}: dead link: {target}")
     return dead
 
 
+def find_orphans(readme: Path, docs: list[Path]) -> list[str]:
+    """docs/*.md files not reachable from README.md via relative links."""
+    reachable: set[Path] = set()
+    frontier = [readme]
+    while frontier:
+        md = frontier.pop()
+        if md in reachable or not md.exists():
+            continue
+        reachable.add(md)
+        for path, _, _ in md_links(md):
+            resolved = (md.parent / path).resolve()
+            if resolved.suffix == ".md" and resolved not in reachable:
+                frontier.append(resolved)
+    return [
+        f"{doc}: orphan doc (not reachable from {readme.name} via links)"
+        for doc in docs
+        if doc.resolve() not in reachable
+    ]
+
+
 def main() -> int:
     repo_root = Path(__file__).resolve().parent.parent
-    files = [repo_root / "README.md"] + sorted(
-        (repo_root / "docs").glob("*.md")
-    )
-    dead = []
+    readme = repo_root / "README.md"
+    docs = sorted((repo_root / "docs").glob("*.md"))
+    files = [readme] + docs
+    problems = []
     checked = 0
     for md in files:
         if not md.exists():
-            dead.append(f"expected file is missing: {md}")
+            problems.append(f"expected file is missing: {md}")
             continue
         checked += 1
-        dead.extend(check_file(md, repo_root))
-    for line in dead:
+        problems.extend(check_file(md, repo_root))
+    problems.extend(find_orphans(readme, docs))
+    for line in problems:
         print(line)
     print(f"checked {checked} files: "
-          f"{'FAIL' if dead else 'OK'} ({len(dead)} dead links)")
-    return 1 if dead else 0
+          f"{'FAIL' if problems else 'OK'} ({len(problems)} problems)")
+    return 1 if problems else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Tests for bench_summary.py: pins the BENCH_*.json schema and the printed
+summary so docs/benchmarks.md can't silently drift from the tooling.
+
+Stdlib only (unittest), so CI runs it with a bare python3:
+
+    python3 scripts/test_bench_summary.py
+
+(also discoverable by pytest, which collects unittest cases).
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_summary  # noqa: E402
+
+# The documented schema (docs/benchmarks.md): a flat array of
+# {bench, config, metric, value, unit} rows.
+FIXTURE_ROWS = [
+    {"bench": "open_loop", "config": "load_0.8x",
+     "metric": "latency_p99", "value": 1.38e-4, "unit": "s"},
+    {"bench": "open_loop", "config": "hetero_capability-aware",
+     "metric": "latency_p99", "value": 9.29e-5, "unit": "s"},
+    {"bench": "open_loop", "config": "fleet",
+     "metric": "capacity_rps", "value": 104000.0, "unit": "req/s"},
+]
+
+
+class BenchSummaryTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write_fixture(self, name, payload):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+        return path
+
+    def run_main(self, argv):
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            status = bench_summary.main(["bench_summary.py"] + argv)
+        return status, out.getvalue(), err.getvalue()
+
+    def test_prints_fixture_rows_and_formats_units(self):
+        self.write_fixture("BENCH_open_loop.json", FIXTURE_ROWS)
+        status, out, err = self.run_main([self.tmp.name])
+        self.assertEqual(0, status, err)
+        # Header names the bench and the source file.
+        self.assertIn("== open_loop", out)
+        self.assertIn("BENCH_open_loop.json", out)
+        # Every config/metric lands in the table.
+        for row in FIXTURE_ROWS:
+            self.assertIn(row["config"], out)
+            self.assertIn(row["metric"], out)
+        # Seconds are scaled to an engineering suffix, other units pass
+        # through verbatim.
+        self.assertIn("138 us", out)
+        self.assertIn("92.9 us", out)
+        self.assertIn("req/s", out)
+
+    def test_directory_glob_only_picks_bench_files(self):
+        self.write_fixture("BENCH_open_loop.json", FIXTURE_ROWS)
+        self.write_fixture("unrelated.json", [{"not": "a bench row"}])
+        status, out, _ = self.run_main([self.tmp.name])
+        self.assertEqual(0, status)
+        self.assertNotIn("unrelated", out)
+
+    def test_missing_schema_key_fails(self):
+        row = dict(FIXTURE_ROWS[0])
+        del row["unit"]
+        self.write_fixture("BENCH_bad.json", [row])
+        status, _, err = self.run_main([self.tmp.name])
+        self.assertEqual(1, status)
+        self.assertIn("missing key 'unit'", err)
+
+    def test_malformed_json_and_non_array_fail(self):
+        self.write_fixture("BENCH_broken.json", "{not json")
+        status, _, err = self.run_main([self.tmp.name])
+        self.assertEqual(1, status)
+        self.assertIn("error:", err)
+
+        self.write_fixture("BENCH_broken.json", {"rows": FIXTURE_ROWS})
+        status, _, err = self.run_main([self.tmp.name])
+        self.assertEqual(1, status)
+        self.assertIn("expected a JSON array", err)
+
+    def test_no_inputs_is_an_error(self):
+        status, _, err = self.run_main([self.tmp.name])
+        self.assertEqual(1, status)
+        self.assertIn("no BENCH_*.json files found", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -43,23 +43,6 @@ nn::Tensor Accelerator::run_conv(const nn::Tensor& input,
   return out;
 }
 
-Accelerator::BatchReport Accelerator::run_batch(const nn::Network& net,
-                                                std::size_t images) const {
-  PCNNA_CHECK(images >= 1);
-  BatchReport report;
-  report.images = images;
-  for (const nn::ConvLayerParams& layer : net.conv_layers()) {
-    const LayerTiming t = timing_.layer_time(layer);
-    report.time_per_image += t.full_system_time;
-    report.energy_per_image += energy_.layer_energy(scheduler_.plan(layer), t)
-                                   .total();
-  }
-  report.total_time = report.time_per_image * static_cast<double>(images);
-  report.images_per_second =
-      report.time_per_image > 0.0 ? 1.0 / report.time_per_image : 0.0;
-  return report;
-}
-
 NetworkRunReport Accelerator::run(const nn::Network& net,
                                   const nn::NetWeights& weights,
                                   const nn::Tensor& input,

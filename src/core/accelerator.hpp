@@ -80,26 +80,12 @@ class Accelerator {
                        const nn::Tensor& input, bool simulate_values = true,
                        bool compare_reference = true);
 
-  /// Aggregate timing for a batch of images on the single virtually-reused
-  /// core (paper SS IV): images run back to back, each repeating the full
-  /// layer sequence (including per-layer weight reprogramming at kFull
-  /// fidelity). For multi-core pipelined batching see core::ThroughputModel.
-  ///
-  /// Deprecated (ROADMAP run_batch deprecation plan, steps 1-2 done in
-  /// PR 3): runtime::BatchRunner::run / FleetReport subsume this —
-  /// FleetReport::request_time_serial is this report's time_per_image,
-  /// makespan_sequential its total_time, and the fleet adds sharding,
-  /// double-buffered recalibration, and open-loop serving on top. Scheduled
-  /// for deletion (with BatchReport) one PR after deprecation.
-  struct BatchReport {
-    std::size_t images = 0;
-    double time_per_image = 0.0; ///< accelerated-op time per image [s]
-    double total_time = 0.0;
-    double images_per_second = 0.0;
-    double energy_per_image = 0.0; ///< [J]
-  };
-  [[deprecated("use runtime::BatchRunner::run / FleetReport instead")]]
-  BatchReport run_batch(const nn::Network& net, std::size_t images) const;
+  // Batch timing lives in runtime::BatchRunner / FleetReport: the old
+  // Accelerator::run_batch / BatchReport pair was deprecated in PR 3 and
+  // deleted in PR 4 (ROADMAP deprecation plan step 3). Field mapping:
+  // images -> FleetReport::requests, time_per_image -> request_time_serial,
+  // total_time -> makespan_sequential, images_per_second -> sequential_rps,
+  // energy_per_image -> energy_per_request.
 
  private:
   PcnnaConfig config_;

@@ -55,6 +55,20 @@ PcnnaConfig PcnnaConfig::ideal() {
   return cfg;
 }
 
+PcnnaConfig PcnnaConfig::small_core() {
+  PcnnaConfig cfg = paper_defaults();
+  // Per-channel ring allocation (the paper's conv4 worked configuration):
+  // banks hold K * m * m rings instead of K * Nkernel, at the price of nc
+  // sequential channel passes — and nc thermal-settle recalibration
+  // episodes — per layer. This is what actually makes a small PCU slow:
+  // the retuning settle dominates the double-buffered request interval.
+  cfg.allocation = RingAllocation::kPerChannel;
+  cfg.max_wavelengths = 24;
+  cfg.num_input_dacs = 4;
+  cfg.validate();
+  return cfg;
+}
+
 void PcnnaConfig::validate() const {
   PCNNA_CHECK(fast_clock > 0.0 && io_clock > 0.0);
   PCNNA_CHECK(num_input_dacs >= 1);

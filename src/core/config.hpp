@@ -119,8 +119,25 @@ struct PcnnaConfig {
   /// convolution almost exactly).
   static PcnnaConfig ideal();
 
+  /// A deliberately budget-constrained PCU: the per-channel ring
+  /// allocation (K * m * m rings — the paper's conv4 worked number —
+  /// instead of K * Nkernel), a quarter of the WDM channel budget
+  /// (24 wavelengths), and 4 input DACs. Multi-channel layers pay nc
+  /// sequential passes and nc thermal-settle recalibrations, and wide
+  /// receptive fields segment into extra bank passes, so requests take
+  /// several times longer than on paper_defaults() — the "small cheap
+  /// PCU" of a heterogeneous serving fleet (docs/configuration.md,
+  /// runtime::PcuSpec).
+  static PcnnaConfig small_core();
+
   /// Throws pcnna::Error if fields are inconsistent.
   void validate() const;
+
+  /// Memberwise equality. The serving runtime uses this to detect whether
+  /// a PCU fleet is homogeneous (any PCU computes bit-identical outputs
+  /// for a given request) or heterogeneous (outputs depend on which PCU's
+  /// device model serves the request).
+  friend bool operator==(const PcnnaConfig&, const PcnnaConfig&) = default;
 };
 
 } // namespace pcnna::core

@@ -16,6 +16,8 @@ struct AdcConfig {
   double area = 0.58 * units::mm2;       ///< die area (paper [17], 65 nm)
   double power = 44.6 * units::mW;       ///< active power draw (paper [17])
   double full_scale = 1.0;               ///< input range is [-fs, +fs]
+
+  friend bool operator==(const AdcConfig&, const AdcConfig&) = default;
 };
 
 /// A single ADC channel; input is a signed analog value in [-fs, +fs].

@@ -19,6 +19,8 @@ struct DacConfig {
   double area = 0.52 * units::mm2;      ///< die area per DAC (paper [16])
   double power = 350.0 * units::mW;     ///< active power draw
   double full_scale = 1.0;              ///< output range is [0, full_scale]
+
+  friend bool operator==(const DacConfig&, const DacConfig&) = default;
 };
 
 /// A single DAC channel.

@@ -17,6 +17,8 @@ struct DramConfig {
   double bandwidth = 12.8e9;               ///< bytes/s (DDR3-1600 x64 class)
   double first_access_latency = 50.0 * units::ns; ///< row activate + CAS
   double energy_per_byte = 20.0 * units::pJ; ///< access energy
+
+  friend bool operator==(const DramConfig&, const DramConfig&) = default;
 };
 
 /// Bandwidth/latency model of one DRAM channel with traffic statistics.

@@ -23,6 +23,8 @@ struct SramConfig {
   double area = 0.443 * units::mm2;         ///< footprint (paper [15])
   double access_energy = 2.0 * units::pJ;   ///< per-word access energy
   double retention_power = 25.0 * units::uW;///< static draw (paper [15] class)
+
+  friend bool operator==(const SramConfig&, const SramConfig&) = default;
 };
 
 /// Word-granular scratchpad with occupancy tracking and access statistics.

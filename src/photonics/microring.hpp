@@ -28,6 +28,9 @@ struct MicroringConfig {
   double fab_sigma = 0.0;              ///< std-dev of as-built resonance offset [m]
   /// Ring footprint (paper SS V-A cites 25 um x 25 um per ring [10]).
   double footprint_side = 25.0 * units::um;
+
+  friend bool operator==(const MicroringConfig&,
+                         const MicroringConfig&) = default;
 };
 
 class MicroringResonator {

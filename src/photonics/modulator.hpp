@@ -22,6 +22,8 @@ struct MzmConfig {
   double extinction_ratio_db = 25.0;///< on/off power ratio
   bool predistort = true;           ///< apply arcsine predistortion
   double bandwidth = 20.0 * units::GHz; ///< 3 dB modulation bandwidth
+
+  friend bool operator==(const MzmConfig&, const MzmConfig&) = default;
 };
 
 class MachZehnderModulator {

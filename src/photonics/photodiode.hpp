@@ -21,6 +21,9 @@ struct PhotodiodeConfig {
   double load_resistance = 1000.0;
   bool enable_shot_noise = true;
   bool enable_thermal_noise = true;
+
+  friend bool operator==(const PhotodiodeConfig&,
+                         const PhotodiodeConfig&) = default;
 };
 
 /// Single photodiode: optical power in, current out, with shot and thermal

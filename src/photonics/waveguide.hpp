@@ -16,6 +16,9 @@ namespace pcnna::phot {
 struct WaveguideConfig {
   double propagation_loss_db_per_cm = 2.0; ///< silicon strip waveguide
   double splitter_excess_loss_db = 0.1;    ///< per 1x2 split stage
+
+  friend bool operator==(const WaveguideConfig&,
+                         const WaveguideConfig&) = default;
 };
 
 /// Stateless loss calculator for bus waveguides and broadcast trees.

@@ -30,6 +30,9 @@ struct WeightBankConfig {
   PhotodiodeConfig photodiode;
   bool model_crosstalk = true;    ///< rings also act on neighboring channels
   int calibration_iterations = 4; ///< fixed-point crosstalk-cancel passes
+
+  friend bool operator==(const WeightBankConfig&,
+                         const WeightBankConfig&) = default;
 };
 
 class WeightBank {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <ostream>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/format.hpp"
@@ -13,42 +14,88 @@ namespace pcnna::runtime {
 
 namespace {
 
-/// BatchRunnerOptions::engine_threads > 0 overrides the config's
-/// intra-image engine parallelism for every PCU of the fleet.
-core::PcnnaConfig apply_engine_threads(core::PcnnaConfig config,
-                                       const BatchRunnerOptions& options) {
+/// Homogeneous-fleet recipe: options.num_pcus copies of one spec.
+std::vector<PcuSpec> replicate_spec(core::PcnnaConfig config,
+                                    const BatchRunnerOptions& options) {
+  PcuSpec spec;
+  spec.config = std::move(config);
+  return std::vector<PcuSpec>(options.num_pcus, spec);
+}
+
+/// BatchRunnerOptions::engine_threads > 0 overrides the intra-image engine
+/// parallelism of every PCU in the fleet (per-spec overrides included).
+std::vector<PcuSpec> apply_fleet_engine_threads(
+    std::vector<PcuSpec> specs, const BatchRunnerOptions& options) {
   if (options.engine_threads > 0)
-    config.engine_threads = options.engine_threads;
-  return config;
+    for (PcuSpec& spec : specs) spec.engine_threads = options.engine_threads;
+  return specs;
 }
 
 } // namespace
 
 BatchRunner::BatchRunner(core::PcnnaConfig config, nn::Network net,
                          nn::NetWeights weights, BatchRunnerOptions options)
-    : config_(apply_engine_threads(std::move(config), options)),
-      net_(std::move(net)),
+    : BatchRunner(replicate_spec(std::move(config), options), std::move(net),
+                  std::move(weights), options) {}
+
+BatchRunner::BatchRunner(std::vector<PcuSpec> specs, nn::Network net,
+                         nn::NetWeights weights, BatchRunnerOptions options)
+    : net_(std::move(net)),
       weights_(std::move(weights)),
       options_(options),
-      pool_(options.num_pcus, config_, options.fidelity, net_, weights_) {}
+      pool_(apply_fleet_engine_threads(std::move(specs), options),
+            options.fidelity, net_, weights_) {
+  options_.num_pcus = pool_.size();
+}
+
+std::vector<InferenceRequest> BatchRunner::make_requests(
+    const std::vector<nn::Tensor>& inputs,
+    const ArrivalSchedule& arrivals) const {
+  std::vector<InferenceRequest> requests;
+  requests.reserve(inputs.size());
+  for (std::size_t id = 0; id < inputs.size(); ++id) {
+    InferenceRequest request;
+    request.id = id;
+    request.seed = derive_request_seed(options_.seed, id);
+    request.arrival_time = arrivals.empty() ? 0.0 : arrivals[id];
+    request.input = inputs[id];
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+std::vector<RequestResult> BatchRunner::serve(
+    std::vector<InferenceRequest> requests,
+    const std::vector<ScheduledService>& schedule, bool simulate_values) {
+  if (pool_.homogeneous()) {
+    // Dynamic sharding: any PCU computes the same bits for a request, so
+    // the fastest host thread simply grabs the next one.
+    const std::size_t batch = requests.size();
+    RequestQueue queue;
+    for (InferenceRequest& request : requests) queue.push(std::move(request));
+    queue.close();
+    return pool_.serve_all(queue, batch, simulate_values);
+  }
+  // Heterogeneous: the scheduled PCU's device model must produce each
+  // output, so the physical assignment follows the virtual-time schedule.
+  return pool_.serve_scheduled(std::move(requests), schedule, simulate_values);
+}
 
 std::vector<RequestResult> BatchRunner::run(
     const std::vector<nn::Tensor>& inputs, FleetReport* report) {
   const std::size_t batch = inputs.size();
 
-  RequestQueue queue;
-  for (std::size_t id = 0; id < batch; ++id) {
-    InferenceRequest request;
-    request.id = id;
-    request.seed = derive_request_seed(options_.seed, id);
-    request.input = inputs[id];
-    queue.push(std::move(request));
-  }
-  queue.close();
+  // Deterministic virtual-time schedule: the closed batch is the
+  // degenerate all-at-t=0 arrival process, so the same admission loop
+  // that prices open-loop serving prices it. A homogeneous fleet without a
+  // report skips it (dynamic sharding needs no assignment).
+  std::vector<ScheduledService> schedule;
+  if (!pool_.homogeneous() || report)
+    schedule = simulate_schedule(closed_batch_arrivals(batch));
 
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<RequestResult> results =
-      pool_.serve_all(queue, batch, options_.simulate_values);
+      serve(make_requests(inputs, {}), schedule, options_.simulate_values);
   const auto wall_end = std::chrono::steady_clock::now();
 
   if (report) {
@@ -58,6 +105,7 @@ std::vector<RequestResult> BatchRunner::run(
     r.requests = batch;
     r.fidelity = options_.fidelity;
     r.double_buffer = options_.double_buffer;
+    r.dispatch = options_.dispatch;
     r.request_time_serial = reference.request_time_serial();
     r.request_interval = options_.double_buffer
                              ? reference.request_interval_overlapped()
@@ -65,20 +113,18 @@ std::vector<RequestResult> BatchRunner::run(
     r.overlap_speedup = r.request_interval > 0.0
                             ? r.request_time_serial / r.request_interval
                             : 1.0;
-    // Deterministic virtual-time schedule: the closed batch is the
-    // degenerate all-at-t=0 arrival process, so the same admission loop
-    // that prices open-loop serving prices it (requests in id order onto
-    // the earliest-free virtual PCU, ties -> lowest index).
-    const std::vector<ScheduledService> schedule =
-        simulate_schedule(closed_batch_arrivals(batch));
-    r.virtual_requests_per_pcu.assign(r.pcus, 0);
+    r.sequential_rps = r.request_time_serial > 0.0
+                           ? 1.0 / r.request_time_serial
+                           : 0.0;
     double latency_sum = 0.0;
     for (const ScheduledService& s : schedule) {
-      r.virtual_requests_per_pcu[s.pcu] += 1;
       latency_sum += s.completion;
       r.max_latency = std::max(r.max_latency, s.completion);
-      r.makespan = std::max(r.makespan, s.completion);
     }
+    r.makespan = fill_breakdowns(schedule, r.per_pcu);
+    r.virtual_requests_per_pcu.resize(r.pcus);
+    for (std::size_t p = 0; p < r.pcus; ++p)
+      r.virtual_requests_per_pcu[p] = r.per_pcu[p].requests;
     r.makespan_sequential =
         static_cast<double>(batch) * r.request_time_serial;
     r.throughput_rps =
@@ -108,29 +154,22 @@ std::vector<RequestResult> BatchRunner::run_open_loop(
                       << " inputs");
   validate_arrival_schedule(arrivals);
 
-  // Physical serving is identical to the closed batch: arrival times shape
-  // only the virtual-time schedule, never the per-request seeds, so the
-  // outputs stay bit-identical to run()/run_one().
-  const std::size_t batch = inputs.size();
-  RequestQueue queue;
-  for (std::size_t id = 0; id < batch; ++id) {
-    InferenceRequest request;
-    request.id = id;
-    request.seed = derive_request_seed(options_.seed, id);
-    request.arrival_time = arrivals[id];
-    request.input = inputs[id];
-    queue.push(std::move(request));
-  }
-  queue.close();
+  // On a homogeneous fleet physical serving is identical to the closed
+  // batch: arrival times shape only the virtual-time schedule, never the
+  // per-request seeds, so the outputs stay bit-identical to
+  // run()/run_one(). A heterogeneous fleet additionally follows the
+  // schedule's PCU assignment, so outputs are still deterministic.
+  std::vector<ScheduledService> schedule;
+  if (!pool_.homogeneous() || report) schedule = simulate_schedule(arrivals);
 
+  const std::size_t batch = inputs.size();
   const auto wall_start = std::chrono::steady_clock::now();
-  std::vector<RequestResult> results =
-      pool_.serve_all(queue, batch, options_.simulate_values);
+  std::vector<RequestResult> results = serve(
+      make_requests(inputs, arrivals), schedule, options_.simulate_values);
   const auto wall_end = std::chrono::steady_clock::now();
 
   if (report) {
-    OpenLoopReport r = summarize_schedule(simulate_schedule(arrivals),
-                                          arrivals);
+    OpenLoopReport r = summarize_schedule(schedule, arrivals);
     for (const RequestResult& result : results) r.total_energy += result.energy;
     r.energy_per_request =
         batch == 0 ? 0.0 : r.total_energy / static_cast<double>(batch);
@@ -145,8 +184,9 @@ OpenLoopReport BatchRunner::simulate_open_loop(const ArrivalSchedule& arrivals) 
   validate_arrival_schedule(arrivals);
   const std::vector<ScheduledService> schedule = simulate_schedule(arrivals);
   OpenLoopReport r = summarize_schedule(schedule, arrivals);
-  // Timing-only energy: the per-request analytical total, which the
-  // functional path reproduces (values never change layer energy).
+  // Timing-only energy: the per-request analytical total of the PCU each
+  // request was dispatched to, which the functional path reproduces
+  // (values never change layer energy).
   for (const ScheduledService& s : schedule)
     r.total_energy += pool_.pcu(s.pcu).request_energy();
   r.energy_per_request = r.requests == 0
@@ -168,7 +208,27 @@ std::vector<ScheduledService> BatchRunner::simulate_schedule(
     queue.push(std::move(request));
   }
   queue.close();
-  return pool_.simulate_admission(queue, options_.double_buffer);
+  return pool_.simulate_admission(queue, options_.double_buffer,
+                                  options_.dispatch);
+}
+
+double BatchRunner::fill_breakdowns(
+    const std::vector<ScheduledService>& schedule,
+    std::vector<PcuBreakdown>& out) const {
+  out.assign(pool_.size(), PcuBreakdown{});
+  for (std::size_t p = 0; p < pool_.size(); ++p)
+    out[p].tag = pool_.pcu(p).tag();
+  double makespan = 0.0;
+  for (const ScheduledService& s : schedule) {
+    PcuBreakdown& b = out[s.pcu];
+    b.requests += 1;
+    b.busy_time += s.completion - s.start;
+    b.warmup_time += s.warmup;
+    makespan = std::max(makespan, s.completion);
+  }
+  if (makespan > 0.0)
+    for (PcuBreakdown& b : out) b.utilization = b.busy_time / makespan;
+  return makespan;
 }
 
 OpenLoopReport BatchRunner::summarize_schedule(
@@ -179,6 +239,7 @@ OpenLoopReport BatchRunner::summarize_schedule(
   r.requests = schedule.size();
   r.fidelity = options_.fidelity;
   r.double_buffer = options_.double_buffer;
+  r.dispatch = options_.dispatch;
   r.offered_rps = offered_rate(arrivals);
 
   for (std::size_t p = 0; p < r.pcus; ++p) {
@@ -196,30 +257,28 @@ OpenLoopReport BatchRunner::summarize_schedule(
   std::vector<double> waits;
   latencies.reserve(schedule.size());
   waits.reserve(schedule.size());
-  std::vector<double> busy(r.pcus, 0.0);
-  r.virtual_requests_per_pcu.assign(r.pcus, 0);
   double wait_sum = 0.0;
   for (const ScheduledService& s : schedule) {
     latencies.push_back(s.completion - s.arrival);
     waits.push_back(s.start - s.arrival);
     wait_sum += s.start - s.arrival;
-    busy[s.pcu] += s.completion - s.start;
-    r.virtual_requests_per_pcu[s.pcu] += 1;
-    r.makespan = std::max(r.makespan, s.completion);
   }
   r.latency = summarize_distribution(std::move(latencies));
   r.queue_wait = summarize_distribution(std::move(waits));
+
+  r.makespan = fill_breakdowns(schedule, r.per_pcu);
+  r.virtual_requests_per_pcu.resize(r.pcus);
+  r.utilization_per_pcu.resize(r.pcus);
+  for (std::size_t p = 0; p < r.pcus; ++p) {
+    r.virtual_requests_per_pcu[p] = r.per_pcu[p].requests;
+    r.utilization_per_pcu[p] = r.per_pcu[p].utilization;
+  }
 
   if (r.makespan > 0.0) {
     r.achieved_rps = static_cast<double>(r.requests) / r.makespan;
     // Little's law on the wait room: time-averaged queue depth equals
     // total waiting time over the observation window.
     r.mean_queue_depth = wait_sum / r.makespan;
-    r.utilization_per_pcu.resize(r.pcus);
-    for (std::size_t p = 0; p < r.pcus; ++p)
-      r.utilization_per_pcu[p] = busy[p] / r.makespan;
-  } else {
-    r.utilization_per_pcu.assign(r.pcus, 0.0);
   }
   // Energy is filled by the caller: run_open_loop sums the functional
   // RequestResults, simulate_open_loop the analytical per-request totals.
@@ -234,6 +293,26 @@ RequestResult BatchRunner::run_one(const nn::Tensor& input, std::uint64_t id) {
   return pool_.pcu(0).serve(request, options_.simulate_values);
 }
 
+namespace {
+
+/// Shared per-PCU schedule table: index, tag, requests, utilization, and
+/// time spent re-filling the double-buffer pipeline.
+void print_breakdowns(const std::vector<PcuBreakdown>& per_pcu,
+                      std::ostream& os) {
+  TextTable pcus({"virtual PCU", "tag", "requests", "utilization",
+                  "warmup time"});
+  for (std::size_t p = 0; p < per_pcu.size(); ++p) {
+    const PcuBreakdown& b = per_pcu[p];
+    pcus.add_row({std::to_string(p), b.tag.empty() ? "-" : b.tag,
+                  std::to_string(b.requests),
+                  format_fixed(100.0 * b.utilization, 1) + " %",
+                  format_time(b.warmup_time)});
+  }
+  pcus.print(os, "per-PCU schedule");
+}
+
+} // namespace
+
 void BatchRunner::print_report(const FleetReport& report, std::ostream& os,
                                const std::string& title) {
   TextTable table({"metric", "value"});
@@ -243,6 +322,8 @@ void BatchRunner::print_report(const FleetReport& report, std::ostream& os,
                  core::timing_fidelity_name(report.fidelity)});
   table.add_row({"double-buffered recal",
                  report.double_buffer ? "yes" : "no"});
+  table.add_row({"dispatch policy",
+                 dispatch_policy_name(report.dispatch)});
   table.add_separator();
   table.add_row({"request time (serial)",
                  format_time(report.request_time_serial)});
@@ -250,6 +331,8 @@ void BatchRunner::print_report(const FleetReport& report, std::ostream& os,
                  format_time(report.request_interval)});
   table.add_row({"overlap speedup",
                  format_fixed(report.overlap_speedup, 3) + "x"});
+  table.add_row({"serial rate (1 PCU)",
+                 format_count(report.sequential_rps) + " req/s"});
   table.add_separator();
   table.add_row({"makespan (1 PCU, serial)",
                  format_time(report.makespan_sequential)});
@@ -269,11 +352,7 @@ void BatchRunner::print_report(const FleetReport& report, std::ostream& os,
                  format_time(report.wall_seconds)});
   table.print(os, title);
 
-  TextTable shards({"virtual PCU", "requests"});
-  for (std::size_t p = 0; p < report.virtual_requests_per_pcu.size(); ++p)
-    shards.add_row({std::to_string(p),
-                    std::to_string(report.virtual_requests_per_pcu[p])});
-  shards.print(os, "virtual shard assignment");
+  print_breakdowns(report.per_pcu, os);
 }
 
 void BatchRunner::print_report(const OpenLoopReport& report, std::ostream& os,
@@ -284,6 +363,8 @@ void BatchRunner::print_report(const OpenLoopReport& report, std::ostream& os,
   table.add_row({"fidelity", core::timing_fidelity_name(report.fidelity)});
   table.add_row({"double-buffered recal",
                  report.double_buffer ? "yes" : "no"});
+  table.add_row({"dispatch policy",
+                 dispatch_policy_name(report.dispatch)});
   table.add_separator();
   table.add_row({"offered load",
                  std::isinf(report.offered_rps)
@@ -313,16 +394,7 @@ void BatchRunner::print_report(const OpenLoopReport& report, std::ostream& os,
   table.add_row({"host wall time", format_time(report.wall_seconds)});
   table.print(os, title);
 
-  TextTable pcus({"virtual PCU", "requests", "utilization"});
-  for (std::size_t p = 0; p < report.virtual_requests_per_pcu.size(); ++p) {
-    const double util = p < report.utilization_per_pcu.size()
-                            ? report.utilization_per_pcu[p]
-                            : 0.0;
-    pcus.add_row({std::to_string(p),
-                  std::to_string(report.virtual_requests_per_pcu[p]),
-                  format_fixed(100.0 * util, 1) + " %"});
-  }
-  pcus.print(os, "per-PCU schedule");
+  print_breakdowns(report.per_pcu, os);
 }
 
 } // namespace pcnna::runtime

@@ -1,7 +1,10 @@
 // Batch-parallel inference runner: the top-level serving API.
 //
-// A BatchRunner owns one model (Network + NetWeights) and a PcuPool of N
-// replicated accelerators. Two entry points share the machinery:
+// A BatchRunner owns one model (Network + NetWeights) and a PcuPool —
+// either N identical accelerator replicas (homogeneous constructor) or an
+// arbitrary mixed fleet built from a PcuSpec vector (heterogeneous
+// constructor: per-PCU PcnnaConfig, engine threads, warmup policy,
+// capability tag). Two entry points share the machinery:
 //
 //  * run() — closed batch: the whole workload is present at t = 0. Returns
 //    outputs in request order plus a fleet-level FleetReport.
@@ -16,16 +19,24 @@
 //
 // Two clocks are deliberately separated:
 //
-//  * Host wall-clock decides which physical worker simulates which request
-//    (dynamic sharding). It affects nothing but load balancing of the
-//    simulation work itself.
+//  * Host wall-clock decides which physical worker simulates which request.
+//    On a homogeneous fleet this is dynamic sharding (a slow host core
+//    simply grabs fewer requests) and affects nothing but load balancing of
+//    the simulation work itself. On a heterogeneous fleet the physical
+//    assignment instead follows the deterministic virtual-time schedule
+//    (PcuPool::serve_scheduled), because PCUs with different device models
+//    produce different — all valid — output bits, and "which PCU served
+//    request i" must not depend on host timing.
 //
 //  * Simulated hardware time is accounted by the deterministic virtual-time
 //    admission loop (PcuPool::simulate_admission): requests are admitted in
-//    arrival order and dispatched to the earliest-free virtual PCU. All
-//    reported latency / throughput / energy numbers come from this
-//    schedule, so reports are reproducible run to run and machine to
-//    machine.
+//    arrival order and dispatched by BatchRunnerOptions::dispatch
+//    (earliest-free, least-loaded, or capability-aware). All reported
+//    latency / throughput / energy numbers come from this schedule, so
+//    reports are reproducible run to run and machine to machine.
+//
+// Every serving-configuration knob on this page is cataloged in
+// docs/configuration.md.
 #pragma once
 
 #include <cstddef>
@@ -45,6 +56,8 @@ namespace pcnna::runtime {
 
 struct BatchRunnerOptions {
   /// Number of replicated photonic conv units (and host worker threads).
+  /// Used by the homogeneous constructor only; the heterogeneous
+  /// constructor takes its fleet size from the PcuSpec vector.
   std::size_t num_pcus = 1;
   /// Timing fidelity of every PCU's accelerator model. kFull exposes the
   /// weight-load / settle costs that double buffering hides; under kPaper
@@ -56,24 +69,50 @@ struct BatchRunnerOptions {
   /// Account weight-bank recalibration as double-buffered against optical
   /// compute (the Fig. 4 overlap lifted to the request stream).
   bool double_buffer = true;
+  /// How the admission loop picks a PCU for each admitted request
+  /// (see runtime::DispatchPolicy). The default reproduces the
+  /// pre-heterogeneous earliest-free behavior bit for bit.
+  DispatchPolicy dispatch = DispatchPolicy::kEarliestFree;
   /// Base seed; per-request engine seeds derive from it (SplitMix64), so
   /// the whole batch is reproducible from this one number.
   std::uint64_t seed = 1;
   /// Intra-image engine threads per PCU (> 0 overrides
-  /// PcnnaConfig::engine_threads for every PCU). Outputs are bit-identical
-  /// for any value; this trades host cores between request-level sharding
-  /// (num_pcus workers) and per-image latency. The host runs up to
-  /// num_pcus * engine_threads simulation threads at once.
+  /// PcnnaConfig::engine_threads — and any per-spec override — for every
+  /// PCU). Outputs are bit-identical for any value; this trades host cores
+  /// between request-level sharding (one worker per PCU) and per-image
+  /// latency. The host runs up to num_pcus * engine_threads simulation
+  /// threads at once.
   std::size_t engine_threads = 0;
 };
 
+/// Per-PCU slice of the deterministic virtual-time schedule, reported by
+/// both FleetReport and OpenLoopReport so fleet skew is observable. All
+/// times are simulated seconds.
+struct PcuBreakdown {
+  /// The PcuSpec's capability tag (empty for the homogeneous constructor).
+  std::string tag;
+  /// Requests this virtual PCU served.
+  std::size_t requests = 0;
+  /// Total time in service (completion - start summed over its requests).
+  double busy_time = 0.0;
+  /// Portion of busy_time spent re-filling the double-buffer pipeline
+  /// (warmup charges; 0 without double buffering).
+  double warmup_time = 0.0;
+  /// busy_time / makespan, in [0, 1]. 0 when the makespan is 0.
+  double utilization = 0.0;
+};
+
 /// Fleet-level serving summary. All times are simulated hardware seconds
-/// unless suffixed _wall.
+/// unless suffixed _wall. The single-request reference fields
+/// (request_time_serial, request_interval, overlap_speedup,
+/// makespan_sequential) are computed from PCU 0 — on a heterogeneous fleet
+/// put the flagship spec first.
 struct FleetReport {
   std::size_t pcus = 1;
   std::size_t requests = 0;
   core::TimingFidelity fidelity = core::TimingFidelity::kFull;
   bool double_buffer = true;
+  DispatchPolicy dispatch = DispatchPolicy::kEarliestFree;
 
   /// One request on one PCU, serial schedule (Σ layer full_system_time).
   double request_time_serial = 0.0;
@@ -81,6 +120,10 @@ struct FleetReport {
   double request_interval = 0.0;
   /// request_time_serial / request_interval (1.0 when not double buffered).
   double overlap_speedup = 1.0;
+  /// Images per simulated second of one PCU on the serial schedule
+  /// (1 / request_time_serial) — the per-image rate the deleted
+  /// Accelerator::run_batch used to report.
+  double sequential_rps = 0.0;
 
   /// Whole batch on 1 PCU, serial schedule — the baseline.
   double makespan_sequential = 0.0;
@@ -100,7 +143,11 @@ struct FleetReport {
   double total_energy = 0.0;      ///< [J]
   double energy_per_request = 0.0;///< [J]
 
-  /// Requests each virtual PCU served in the deterministic schedule.
+  /// Per-PCU schedule breakdown (requests, busy/warmup time, utilization,
+  /// tag), aligned with PCU indices.
+  std::vector<PcuBreakdown> per_pcu;
+  /// Requests each virtual PCU served in the deterministic schedule
+  /// (per_pcu[p].requests; kept as a flat vector for existing callers).
   std::vector<std::size_t> virtual_requests_per_pcu;
 
   /// Host seconds spent actually simulating the batch (informational; on a
@@ -115,6 +162,7 @@ struct OpenLoopReport {
   std::size_t requests = 0;
   core::TimingFidelity fidelity = core::TimingFidelity::kFull;
   bool double_buffer = true;
+  DispatchPolicy dispatch = DispatchPolicy::kEarliestFree;
 
   /// Offered load of the arrival schedule (requests / last arrival time
   /// [req/s]; +inf for the degenerate closed batch).
@@ -123,7 +171,8 @@ struct OpenLoopReport {
   /// pins at fleet_capacity_rps above it.
   double achieved_rps = 0.0;
   /// Steady-state saturation throughput: sum over PCUs of
-  /// 1 / steady-state service interval [req/s].
+  /// 1 / steady-state service interval [req/s]. On a heterogeneous fleet
+  /// each PCU contributes its own rate.
   double fleet_capacity_rps = 0.0;
   /// offered_rps / fleet_capacity_rps (the load factor rho; 0 when offered
   /// load is infinite, i.e. a closed batch).
@@ -139,9 +188,14 @@ struct OpenLoopReport {
   /// total queue wait / makespan) [requests].
   double mean_queue_depth = 0.0;
 
-  /// Per-PCU busy fraction: simulated busy time / makespan, in [0, 1].
+  /// Per-PCU schedule breakdown (requests, busy/warmup time, utilization,
+  /// tag), aligned with PCU indices.
+  std::vector<PcuBreakdown> per_pcu;
+  /// Per-PCU busy fraction: simulated busy time / makespan, in [0, 1]
+  /// (per_pcu[p].utilization; kept as a flat vector for existing callers).
   std::vector<double> utilization_per_pcu;
-  /// Requests each virtual PCU served in the deterministic schedule.
+  /// Requests each virtual PCU served in the deterministic schedule
+  /// (per_pcu[p].requests; kept as a flat vector for existing callers).
   std::vector<std::size_t> virtual_requests_per_pcu;
 
   double total_energy = 0.0;       ///< [J]
@@ -154,8 +208,17 @@ struct OpenLoopReport {
 
 class BatchRunner {
  public:
+  /// Homogeneous fleet: options.num_pcus identical replicas of `config`.
   /// Copies of net/weights are taken so the runner is self-contained.
   BatchRunner(core::PcnnaConfig config, nn::Network net,
+              nn::NetWeights weights, BatchRunnerOptions options = {});
+
+  /// Heterogeneous fleet: one PCU per spec (options.num_pcus is ignored;
+  /// the fleet size is specs.size()). A spec vector whose entries are all
+  /// identical behaves bit-identically to the homogeneous constructor.
+  /// FleetReport's single-request reference fields read PCU 0, so put the
+  /// flagship spec first.
+  BatchRunner(std::vector<PcuSpec> specs, nn::Network net,
               nn::NetWeights weights, BatchRunnerOptions options = {});
 
   // The pool's Pcus hold references into this object's net_/weights_, so
@@ -183,17 +246,22 @@ class BatchRunner {
 
   /// Open-loop serving: request i arrives at `arrivals[i]` (simulated
   /// seconds; validate_arrival_schedule is enforced, and arrivals.size()
-  /// must equal inputs.size()). Functional results are bit-identical to
-  /// run() / run_one() for the same ids — arrival times shape only the
-  /// virtual-time schedule the OpenLoopReport summarizes.
+  /// must equal inputs.size()). On a homogeneous fleet the functional
+  /// results are bit-identical to run() / run_one() for the same ids —
+  /// arrival times shape only the virtual-time schedule the OpenLoopReport
+  /// summarizes. On a heterogeneous fleet each output is computed by the
+  /// deterministically scheduled PCU's own device model, so results are
+  /// still bit-reproducible run to run, but can legitimately differ
+  /// between dispatch policies (a different PCU is a different chip).
   std::vector<RequestResult> run_open_loop(
       const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
       OpenLoopReport* report = nullptr);
 
   /// Timing-only open loop: simulate the admission schedule for `arrivals`
   /// and return its report without running any functional inference
-  /// (energy is filled from the per-request analytical model). Lets load
-  /// sweeps use tens of thousands of requests cheaply.
+  /// (energy is filled from the per-request analytical model of the PCU
+  /// each request was dispatched to). Lets load sweeps use tens of
+  /// thousands of requests cheaply.
   OpenLoopReport simulate_open_loop(const ArrivalSchedule& arrivals);
 
   /// Sequential single-PCU baseline: serves request `id` on PCU 0 with the
@@ -210,16 +278,32 @@ class BatchRunner {
 
  private:
   /// Timing-only admission-loop schedule for requests 0..arrivals.size()-1
-  /// (no tensors, no functional work).
+  /// (no tensors, no functional work), under options_.dispatch.
   std::vector<ScheduledService> simulate_schedule(
       const ArrivalSchedule& arrivals);
+
+  /// Build the dense request vector (ids, SplitMix64 seeds, arrivals,
+  /// inputs) the serving paths share.
+  std::vector<InferenceRequest> make_requests(
+      const std::vector<nn::Tensor>& inputs,
+      const ArrivalSchedule& arrivals) const;
+
+  /// Physically serve `requests`: dynamic sharding on a homogeneous pool,
+  /// schedule-driven assignment otherwise.
+  std::vector<RequestResult> serve(std::vector<InferenceRequest> requests,
+                                   const std::vector<ScheduledService>& schedule,
+                                   bool simulate_values);
 
   /// Derive every schedule-dependent OpenLoopReport field.
   OpenLoopReport summarize_schedule(
       const std::vector<ScheduledService>& schedule,
       const ArrivalSchedule& arrivals) const;
 
-  core::PcnnaConfig config_;
+  /// Fill `out` (sized pool_.size()) from the schedule; returns the
+  /// makespan so both report types share the accounting.
+  double fill_breakdowns(const std::vector<ScheduledService>& schedule,
+                         std::vector<PcuBreakdown>& out) const;
+
   nn::Network net_;
   nn::NetWeights weights_;
   BatchRunnerOptions options_;

@@ -1,22 +1,36 @@
 #include "runtime/pcu.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/energy_model.hpp"
+#include "core/scheduler.hpp"
 #include "core/timing_model.hpp"
 
 namespace pcnna::runtime {
 
+const char* warmup_policy_name(WarmupPolicy policy) {
+  switch (policy) {
+    case WarmupPolicy::kRechargeAfterIdle: return "recharge-after-idle";
+    case WarmupPolicy::kPinnedAfterFirst: return "pinned-after-first";
+    case WarmupPolicy::kAlwaysCold: return "always-cold";
+  }
+  return "?";
+}
+
 Pcu::Pcu(std::size_t index, const core::PcnnaConfig& config,
          core::TimingFidelity fidelity, const nn::Network& net,
-         const nn::NetWeights& weights)
+         const nn::NetWeights& weights, WarmupPolicy warmup, std::string tag)
     : index_(index),
       accelerator_(config, fidelity),
       net_(net),
-      weights_(weights) {
+      weights_(weights),
+      warmup_policy_(warmup),
+      tag_(std::move(tag)) {
   const std::vector<nn::ConvLayerParams> layers = net_.conv_layers();
   const core::TimingModel timing(config, fidelity);
   const core::EnergyModel energy(config);
+  const core::Scheduler scheduler(config);
 
   // Per-layer split into recalibration (hideable behind the previous
   // layer's compute via the shadow bank set) and everything else (floored
@@ -29,6 +43,11 @@ Pcu::Pcu(std::size_t index, const core::PcnnaConfig& config,
     nonrecal[i] =
         std::max(t.full_system_time - t.weight_load_time, t.dram_time);
     request_time_serial_ += t.full_system_time;
+    // Capability metric: sequential bank passes per kernel location this
+    // config needs for the layer (1 when the receptive field fits a
+    // full-kernel bank; channel-group segments x per-channel passes
+    // otherwise).
+    split_passes_ += scheduler.plan(layers[i]).cycles_per_location;
   }
 
   // Steady-state interval: layer i's optical pass of request r overlaps the

@@ -1,8 +1,12 @@
 // One photonic conv unit (PCU) of the batch-serving fleet.
 //
 // A Pcu wraps a core::Accelerator replica programmed with one model and
-// serves InferenceRequests one at a time. Besides the functional run it
-// prices each request two ways:
+// serves InferenceRequests one at a time. Since the fleet became
+// heterogeneous, each Pcu carries its *own* PcnnaConfig (ring/WDM budget,
+// DAC counts, fidelity-limited usable range), its warmup policy, and a
+// free-form capability tag — a fleet can mix big-budget PCUs for wide
+// layers with small cheap ones soaking up the rest. Besides the functional
+// run it prices each request two ways:
 //
 //  * serial: the paper's single-image schedule — every layer pays its
 //    weight-bank reprogramming (MRR retuning + thermal settling) before its
@@ -18,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/accelerator.hpp"
@@ -28,13 +33,36 @@
 
 namespace pcnna::runtime {
 
+/// When a PCU must (re)pay the one-time double-buffer pipeline fill — the
+/// first layer's weight-bank recalibration, which nothing earlier can hide.
+/// Only meaningful on the double-buffered schedule; the serial schedule
+/// charges every layer's recalibration inline and never adds a warmup.
+enum class WarmupPolicy {
+  /// Default, and the only pre-heterogeneous behavior: the warmup is paid
+  /// on the PCU's first request and re-charged whenever an idle gap drains
+  /// the pipeline (service start > previous free time).
+  kRechargeAfterIdle,
+  /// Persistent calibration: a background keep-alive holds the shadow
+  /// banks programmed across idle gaps, so only the very first request
+  /// pays the fill. Models a PCU pinned to one network.
+  kPinnedAfterFirst,
+  /// Conservative bound: every request pays the fill, as if each one
+  /// reprogrammed the pipeline from scratch (no persistence at all).
+  kAlwaysCold,
+};
+
+const char* warmup_policy_name(WarmupPolicy policy);
+
 /// Completed inference for one request. All times are simulated hardware
 /// seconds and all energies simulated joules; nothing here depends on the
 /// host clock.
 struct RequestResult {
   std::uint64_t id = 0;
-  /// Index of the PCU that physically served the request (wall-clock
-  /// scheduling detail; the output itself is PCU-independent).
+  /// Index of the PCU that physically served the request. In a homogeneous
+  /// fleet this is a wall-clock scheduling detail (the output itself is
+  /// PCU-independent); in a heterogeneous fleet it is the deterministic
+  /// virtual-time assignment, and the output was produced by *this* PCU's
+  /// device model.
   std::size_t pcu_index = 0;
   nn::Tensor output;
   /// Simulated single-request service time, serial schedule [s].
@@ -55,14 +83,21 @@ struct PcuStats {
 
 class Pcu {
  public:
-  /// Build one replica: `config`/`fidelity` shape the accelerator model,
+  /// Build one unit: `config`/`fidelity` shape the accelerator model,
   /// `net`/`weights` are the served model (borrowed; must outlive the Pcu).
+  /// `warmup` picks the pipeline-fill accounting of the admission loop and
+  /// `tag` is a free-form capability label surfaced in per-PCU report
+  /// breakdowns ("big", "edge", ...).
   Pcu(std::size_t index, const core::PcnnaConfig& config,
       core::TimingFidelity fidelity, const nn::Network& net,
-      const nn::NetWeights& weights);
+      const nn::NetWeights& weights,
+      WarmupPolicy warmup = WarmupPolicy::kRechargeAfterIdle,
+      std::string tag = {});
 
   std::size_t index() const { return index_; }
   const PcuStats& stats() const { return stats_; }
+  WarmupPolicy warmup_policy() const { return warmup_policy_; }
+  const std::string& tag() const { return tag_; }
 
   /// Serve one request: reseed the engine to the request's seed (so the
   /// result does not depend on what this PCU served before), run the
@@ -78,7 +113,7 @@ class Pcu {
   /// does not change any output bit.
   RequestResult serve(const InferenceRequest& request, bool simulate_values);
 
-  // The four accessors below are precomputed per-model constants (set at
+  // The accessors below are precomputed per-model constants (set at
   // construction, immutable after), so they are safe to read from any
   // thread — the virtual-time admission loop reads them while workers
   // serve.
@@ -92,19 +127,33 @@ class Pcu {
   double request_interval_overlapped() const { return request_interval_; }
 
   /// One-time pipeline fill [s]: the first request's first-layer
-  /// recalibration, which nothing earlier can hide. Re-charged by the
-  /// admission loop after an idle gap drains the pipeline.
+  /// recalibration, which nothing earlier can hide. When (and how often)
+  /// the admission loop re-charges it is governed by warmup_policy().
   double warmup_time() const { return warmup_; }
 
   /// Simulated energy per request [J] (analytical layer energies;
   /// value-independent).
   double request_energy() const { return request_energy_; }
 
+  /// Capability metric for dispatch: sequential weight-bank passes per
+  /// kernel location this PCU needs for the served network, summed over
+  /// conv layers (LayerPlan::cycles_per_location — WDM channel-group
+  /// segmentation times any per-channel allocation passes). A receptive
+  /// field wider than PcnnaConfig::max_wavelengths splits into sequential
+  /// bank passes whose partial sums add electronically, and the
+  /// per-channel ring allocation retunes once per input channel, so a
+  /// small-budget PCU pays *extra splits* (and time) that a big one does
+  /// not. DispatchPolicy::kCapabilityAware skips PCUs whose count exceeds
+  /// the fleet minimum.
+  std::size_t channel_split_passes() const { return split_passes_; }
+
  private:
   std::size_t index_;
   core::Accelerator accelerator_;
   const nn::Network& net_;
   const nn::NetWeights& weights_;
+  WarmupPolicy warmup_policy_;
+  std::string tag_;
   PcuStats stats_;
 
   // Precomputed per-request timing/energy of the served model.
@@ -112,6 +161,7 @@ class Pcu {
   double request_interval_ = 0.0;
   double warmup_ = 0.0;
   double request_energy_ = 0.0;
+  std::size_t split_passes_ = 0;
 };
 
 } // namespace pcnna::runtime

@@ -2,25 +2,77 @@
 
 #include <algorithm>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "common/error.hpp"
 
 namespace pcnna::runtime {
 
+const char* dispatch_policy_name(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kEarliestFree: return "earliest-free";
+    case DispatchPolicy::kLeastLoaded: return "least-loaded";
+    case DispatchPolicy::kCapabilityAware: return "capability-aware";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Effective per-PCU config: the spec's engine-thread override applied.
+core::PcnnaConfig effective_config(const PcuSpec& spec) {
+  core::PcnnaConfig config = spec.config;
+  if (spec.engine_threads > 0) config.engine_threads = spec.engine_threads;
+  return config;
+}
+
+} // namespace
+
+PcuPool::PcuPool(std::vector<PcuSpec> specs, core::TimingFidelity fidelity,
+                 const nn::Network& net, const nn::NetWeights& weights) {
+  PCNNA_CHECK_MSG(!specs.empty(), "a PcuPool needs at least one PCU");
+  pcus_.reserve(specs.size());
+  const core::PcnnaConfig reference = effective_config(specs.front());
+  min_split_passes_ = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const core::PcnnaConfig config = effective_config(specs[i]);
+    // Homogeneity is decided on the *device model* alone: only the config
+    // changes what bits a PCU computes for a given request (warmup policy
+    // and tag shape scheduling and reporting, never outputs). Engine
+    // threads are normalized out of the comparison for the same reason —
+    // outputs are bit-identical for any thread count.
+    core::PcnnaConfig comparable = config;
+    comparable.engine_threads = reference.engine_threads;
+    if (!(comparable == reference)) homogeneous_ = false;
+    pcus_.emplace_back(i, config, fidelity, net, weights, specs[i].warmup,
+                       std::move(specs[i].tag));
+    min_split_passes_ =
+        std::min(min_split_passes_, pcus_.back().channel_split_passes());
+  }
+}
+
 PcuPool::PcuPool(std::size_t num_pcus, const core::PcnnaConfig& config,
                  core::TimingFidelity fidelity, const nn::Network& net,
-                 const nn::NetWeights& weights) {
-  PCNNA_CHECK_MSG(num_pcus >= 1, "a PcuPool needs at least one PCU");
-  pcus_.reserve(num_pcus);
-  for (std::size_t i = 0; i < num_pcus; ++i)
-    pcus_.emplace_back(i, config, fidelity, net, weights);
+                 const nn::NetWeights& weights)
+    : PcuPool(std::vector<PcuSpec>(num_pcus, PcuSpec{config, 0,
+                                                     WarmupPolicy::
+                                                         kRechargeAfterIdle,
+                                                     {}}),
+              fidelity, net, weights) {
+  // num_pcus == 0 is rejected by the delegated constructor's empty-fleet
+  // check.
 }
 
 std::vector<RequestResult> PcuPool::serve_all(RequestQueue& queue,
                                               std::size_t expected_requests,
                                               bool simulate_values) {
+  PCNNA_CHECK_MSG(homogeneous_,
+                  "serve_all shards dynamically, which is only output-safe "
+                  "when every PCU is identical; use serve_scheduled on a "
+                  "heterogeneous pool");
   std::vector<RequestResult> results(expected_requests);
   // Byte flags, not vector<bool>: distinct bytes are safe to write from
   // different workers; packed bits are not.
@@ -58,8 +110,54 @@ std::vector<RequestResult> PcuPool::serve_all(RequestQueue& queue,
   return results;
 }
 
-std::vector<ScheduledService> PcuPool::simulate_admission(RequestQueue& queue,
-                                                          bool double_buffer) {
+std::vector<RequestResult> PcuPool::serve_scheduled(
+    std::vector<InferenceRequest> requests,
+    const std::vector<ScheduledService>& schedule, bool simulate_values) {
+  PCNNA_CHECK_MSG(schedule.size() == requests.size(),
+                  "schedule covers " << schedule.size() << " requests, got "
+                                     << requests.size());
+  // Per-PCU assignment lists in schedule (= admission) order; each request
+  // id must be scheduled exactly once and index into `requests`.
+  std::vector<std::vector<std::size_t>> assigned(pcus_.size());
+  std::vector<unsigned char> seen(requests.size(), 0);
+  for (const ScheduledService& s : schedule) {
+    PCNNA_CHECK_MSG(s.pcu < pcus_.size(),
+                    "scheduled PCU " << s.pcu << " out of range");
+    PCNNA_CHECK_MSG(s.id < requests.size() && !seen[s.id],
+                    "schedule must name each request id exactly once (id "
+                        << s.id << ")");
+    seen[s.id] = 1;
+    assigned[s.pcu].push_back(static_cast<std::size_t>(s.id));
+  }
+
+  std::vector<RequestResult> results(requests.size());
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  // One worker per PCU over its own assignment list: the worker owns its
+  // Pcu exclusively, and distinct ids address distinct result slots.
+  auto worker = [&](std::size_t p) {
+    try {
+      for (const std::size_t id : assigned[p])
+        results[id] = pcus_[p].serve(requests[id], simulate_values);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(pcus_.size());
+  for (std::size_t p = 0; p < pcus_.size(); ++p)
+    threads.emplace_back(worker, p);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<ScheduledService> PcuPool::simulate_admission(
+    RequestQueue& queue, bool double_buffer, DispatchPolicy policy) {
   PCNNA_CHECK_MSG(queue.closed(),
                   "simulate_admission needs a closed request stream");
 
@@ -67,35 +165,82 @@ std::vector<ScheduledService> PcuPool::simulate_admission(RequestQueue& queue,
   std::vector<std::size_t> served(pcus_.size(), 0);
   std::vector<ScheduledService> schedule;
 
+  // Pipeline-fill charge for dispatching a request to PCU p at `start`,
+  // per that PCU's warmup policy. Zero on the serial schedule: without
+  // double buffering every layer pays its recalibration inline.
+  const auto warmup_charge = [&](std::size_t p, double start) -> double {
+    if (!double_buffer) return 0.0;
+    bool cold = true;
+    switch (pcus_[p].warmup_policy()) {
+      case WarmupPolicy::kRechargeAfterIdle:
+        // An idle gap drains the double-buffer pipeline, so the next
+        // request pays the pipeline-fill warmup again; within a
+        // back-to-back streak only the steady-state interval is charged.
+        cold = served[p] == 0 || start > free_at[p];
+        break;
+      case WarmupPolicy::kPinnedAfterFirst:
+        cold = served[p] == 0;
+        break;
+      case WarmupPolicy::kAlwaysCold:
+        cold = true;
+        break;
+    }
+    return cold ? pcus_[p].warmup_time() : 0.0;
+  };
+
+  // Service span on PCU p for a request starting at `start`; the policies
+  // that predict completion score candidates with exactly this function,
+  // so the dispatch decision and the actual charge never disagree.
+  const auto service_time = [&](std::size_t p, double start) -> double {
+    if (!double_buffer) return pcus_[p].request_time_serial();
+    return pcus_[p].request_interval_overlapped() + warmup_charge(p, start);
+  };
+
+  const auto pick_pcu = [&](double arrival) -> std::size_t {
+    if (policy == DispatchPolicy::kEarliestFree) {
+      return static_cast<std::size_t>(
+          std::min_element(free_at.begin(), free_at.end()) - free_at.begin());
+    }
+    // kLeastLoaded / kCapabilityAware: earliest predicted completion, the
+    // latter restricted to PCUs that map the network with the fleet-minimum
+    // number of segmented bank passes (no extra splits).
+    std::size_t best = pcus_.size();
+    double best_completion = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < pcus_.size(); ++p) {
+      if (policy == DispatchPolicy::kCapabilityAware &&
+          pcus_[p].channel_split_passes() != min_split_passes_)
+        continue;
+      const double start = std::max(arrival, free_at[p]);
+      const double completion = start + service_time(p, start);
+      if (completion < best_completion) {
+        best_completion = completion;
+        best = p;
+      }
+    }
+    return best; // the capable set is never empty: the minimum is attained
+  };
+
   double now = 0.0;
   double next = 0.0;
   InferenceRequest request;
   while (queue.next_arrival(next)) {
     // Advance the virtual clock to the next arrival, then admit everything
-    // that has arrived by then. Dispatching eagerly to the earliest-free
-    // PCU is exact for a FIFO stream: the assignment depends only on the
-    // (deterministic) free times, not on when the decision is made.
+    // that has arrived by then. Dispatching eagerly is exact for a FIFO
+    // stream: every policy scores candidates from the deterministic free
+    // times alone, not from when the decision is made.
     now = std::max(now, next);
     while (queue.pop_arrived(now, request)) {
-      const std::size_t p = static_cast<std::size_t>(
-          std::min_element(free_at.begin(), free_at.end()) - free_at.begin());
+      const std::size_t p = pick_pcu(request.arrival_time);
       const double start = std::max(request.arrival_time, free_at[p]);
-      // An idle gap drains the double-buffer pipeline, so the next request
-      // pays the pipeline-fill warmup again; within a back-to-back streak
-      // only the steady-state interval is charged.
-      const bool cold = served[p] == 0 || start > free_at[p];
-      double service_time;
-      if (double_buffer) {
-        service_time = pcus_[p].request_interval_overlapped() +
-                       (cold ? pcus_[p].warmup_time() : 0.0);
-      } else {
-        service_time = pcus_[p].request_time_serial();
-      }
-      const double completion = start + service_time;
+      const double warmup = warmup_charge(p, start);
+      const double service =
+          double_buffer ? pcus_[p].request_interval_overlapped() + warmup
+                        : pcus_[p].request_time_serial();
+      const double completion = start + service;
       free_at[p] = completion;
       served[p] += 1;
       schedule.push_back(
-          {request.id, p, request.arrival_time, start, completion});
+          {request.id, p, request.arrival_time, start, completion, warmup});
     }
   }
   return schedule;

@@ -1,20 +1,37 @@
-// Fleet of replicated PCUs draining a shared RequestQueue.
+// Fleet of PCUs draining a shared RequestQueue — homogeneous or
+// heterogeneous.
 //
-// One worker thread per PCU pulls requests off the queue (dynamic
-// sharding — a slow host thread simply grabs fewer requests) and writes
-// each result into the slot named by the request id. Because every request
-// carries its own engine seed, the sharding decision changes only *who*
-// computes a result, never the result itself.
+// A PcuPool is built from a vector of PcuSpec (one per PCU: its own
+// PcnnaConfig, engine-thread override, warmup policy, capability tag), or
+// from the legacy (count, config) form that replicates one spec N times.
+// PCNNA's throughput is set by per-device budgets — ring counts per weight
+// bank, DAC counts, WDM channel limits — so a realistic fleet mixes
+// big-budget PCUs for wide layers with small cheap ones.
 //
-// Timing is accounted separately from that physical work by
-// simulate_admission(): a single-threaded, deterministic virtual-time loop
-// that replays the request stream against its arrival timestamps, charges
-// each request its queueing delay, and dispatches to the earliest-free
-// virtual PCU. All reported latency/throughput numbers come from this
-// schedule, never from host thread interleaving.
+// Two jobs, deliberately separated:
+//
+//  * Physical simulation (serve_all / serve_scheduled): worker threads do
+//    the functional inference work on the host. Each Pcu is owned by
+//    exactly one worker thread for the duration of a call — workers never
+//    share a Pcu, so Pcu::serve needs no locking; distinct Pcus serve
+//    concurrently. In the homogeneous serve_all mode, workers pull
+//    requests off the queue dynamically (a slow host thread simply grabs
+//    fewer) — safe because every request carries its own engine seed, so
+//    sharding changes only *who* computes a result, never the result. In
+//    the heterogeneous serve_scheduled mode the physical assignment must
+//    follow the deterministic virtual-time schedule instead, because PCUs
+//    with different device models produce different (all valid) outputs.
+//
+//  * Timing accounting (simulate_admission): a single-threaded,
+//    deterministic virtual-time loop that replays the request stream
+//    against its arrival timestamps, charges each request its queueing
+//    delay, and dispatches by a pluggable DispatchPolicy. All reported
+//    latency/throughput numbers come from this schedule, never from host
+//    thread interleaving.
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
@@ -23,6 +40,52 @@
 #include "runtime/request_queue.hpp"
 
 namespace pcnna::runtime {
+
+/// Construction recipe for one PCU of a (possibly heterogeneous) fleet.
+struct PcuSpec {
+  /// This PCU's hardware model: ring/WDM budgets, DAC/ADC counts,
+  /// fidelity-limiting impairments — everything core::PcnnaConfig holds.
+  core::PcnnaConfig config;
+  /// Intra-image engine threads for this PCU; > 0 overrides
+  /// config.engine_threads (same semantics, bit-identical outputs for any
+  /// value). 0 keeps the config's own setting.
+  std::size_t engine_threads = 0;
+  /// Pipeline-fill accounting for this PCU on the double-buffered schedule.
+  WarmupPolicy warmup = WarmupPolicy::kRechargeAfterIdle;
+  /// Free-form capability label ("big", "edge", ...) surfaced in per-PCU
+  /// report breakdowns; never interpreted by the runtime.
+  std::string tag;
+};
+
+/// How simulate_admission picks a PCU for each admitted request. Every
+/// policy is deterministic: candidates are scored from the (deterministic)
+/// virtual-time state only, ties break toward the lowest PCU index.
+enum class DispatchPolicy {
+  /// Dispatch to the PCU whose previous work finishes earliest — the
+  /// pre-heterogeneous behavior, and the bit-compatibility default. Blind
+  /// to per-PCU speed: on a mixed fleet an idle slow PCU wins over a
+  /// nearly-free fast one even when the fast one would complete sooner.
+  kEarliestFree,
+  /// Dispatch to the PCU that would *complete* the request earliest,
+  /// scoring max(arrival, free) + service (warmup included per the PCU's
+  /// policy). On a homogeneous fleet of equal state this matches
+  /// kEarliestFree; on a mixed fleet it routes work to fast PCUs until
+  /// their backlog makes a slow PCU competitive.
+  kLeastLoaded,
+  /// kLeastLoaded restricted to *capable* PCUs: those whose WDM/ring
+  /// budget maps the served network with the fleet-minimum number of
+  /// segmented bank passes (Pcu::channel_split_passes). PCUs that would
+  /// need extra splits — and therefore extra passes, ADC samples, and
+  /// time — are skipped entirely.
+  kCapabilityAware,
+};
+
+const char* dispatch_policy_name(DispatchPolicy policy);
+
+/// All built-in policies, in enum order (for sweeps over policies).
+inline constexpr DispatchPolicy kAllDispatchPolicies[] = {
+    DispatchPolicy::kEarliestFree, DispatchPolicy::kLeastLoaded,
+    DispatchPolicy::kCapabilityAware};
 
 /// One request's place in the deterministic virtual-time schedule.
 /// All times are simulated seconds; queueing delay is start - arrival,
@@ -33,12 +96,24 @@ struct ScheduledService {
   double arrival = 0.0;    ///< [s]
   double start = 0.0;      ///< service start: max(arrival, PCU free) [s]
   double completion = 0.0; ///< [s]
+  /// Pipeline-fill warmup charged inside [start, completion] [s]; 0 on the
+  /// serial (non-double-buffered) schedule and within warm streaks.
+  double warmup = 0.0;
 };
 
 class PcuPool {
  public:
-  /// Build `num_pcus` identical accelerator replicas serving `net`.
-  /// `net`/`weights` are borrowed and must outlive the pool.
+  /// Build one PCU per spec, serving `net`. `net`/`weights` are borrowed
+  /// and must outlive the pool; `specs` is consumed. `fidelity` applies
+  /// fleet-wide (it selects the timing *model*, not a device budget).
+  /// Throws if `specs` is empty or any spec's config cannot map the
+  /// network (SRAM working-set overflow).
+  PcuPool(std::vector<PcuSpec> specs, core::TimingFidelity fidelity,
+          const nn::Network& net, const nn::NetWeights& weights);
+
+  /// Legacy homogeneous form: `num_pcus` identical replicas of `config`.
+  /// Exactly equivalent to a vector of `num_pcus` default-policy specs —
+  /// reports and outputs are bit-identical between the two forms.
   PcuPool(std::size_t num_pcus, const core::PcnnaConfig& config,
           core::TimingFidelity fidelity, const nn::Network& net,
           const nn::NetWeights& weights);
@@ -47,40 +122,70 @@ class PcuPool {
   const Pcu& pcu(std::size_t i) const { return pcus_[i]; }
   Pcu& pcu(std::size_t i) { return pcus_[i]; }
 
+  /// True when every PCU was built from an identical spec (the legacy
+  /// constructor, or a spec vector whose entries all match). Homogeneous
+  /// pools may shard functional work dynamically; heterogeneous ones must
+  /// serve on the scheduled PCU (serve_scheduled).
+  bool homogeneous() const { return homogeneous_; }
+
+  /// Fleet-minimum Pcu::channel_split_passes — the bar a PCU must meet to
+  /// be *capable* under DispatchPolicy::kCapabilityAware.
+  std::size_t min_split_passes() const { return min_split_passes_; }
+
   /// Drain `queue` with one worker thread per PCU and return the results
-  /// ordered by request id. Requests must have dense ids in
-  /// [0, expected_requests); the queue must already be closed (or be closed
-  /// by a concurrent producer) for the call to terminate. Rethrows the
-  /// first worker exception after all threads join.
+  /// ordered by request id. Work is sharded dynamically, which is only
+  /// output-safe on a homogeneous pool (any PCU computes the same bits for
+  /// a given request); throws pcnna::Error on a heterogeneous pool — use
+  /// serve_scheduled there. Requests must have dense ids in
+  /// [0, expected_requests); the queue must already be closed (or be
+  /// closed by a concurrent producer) for the call to terminate. Rethrows
+  /// the first worker exception after all threads join.
   std::vector<RequestResult> serve_all(RequestQueue& queue,
                                        std::size_t expected_requests,
                                        bool simulate_values);
+
+  /// Serve `requests` on exactly the PCU the virtual-time `schedule`
+  /// assigned to each (one worker thread per PCU, each walking its own
+  /// assignment list in schedule order). Deterministic even on a
+  /// heterogeneous pool: the schedule is deterministic, so the same PCU —
+  /// hence the same device model — produces each output every run.
+  /// `schedule` must reference each request id in [0, requests.size())
+  /// exactly once. Results come back ordered by request id. Rethrows the
+  /// first worker exception after all threads join.
+  std::vector<RequestResult> serve_scheduled(
+      std::vector<InferenceRequest> requests,
+      const std::vector<ScheduledService>& schedule, bool simulate_values);
 
   /// Clocked admission loop in virtual time — the single source of truth
   /// for every reported latency/throughput number.
   ///
   /// Advances a virtual clock along the arrival timeline; at each step it
   /// admits (pop_arrived) every request that has arrived and dispatches it
-  /// to the earliest-free virtual PCU (ties broken toward the lowest
-  /// index), charging the queueing delay start - arrival before service
-  /// begins. Service time per request:
+  /// to the PCU `policy` selects (ties broken toward the lowest index),
+  /// charging the queueing delay start - arrival before service begins.
+  /// Service time per request:
   ///
-  ///  * double_buffer: the steady-state overlapped interval; a request
-  ///    dispatched to an idle PCU (start > previous free time, or a cold
-  ///    PCU) additionally pays the pipeline-fill warmup, because the
+  ///  * double_buffer: the dispatched PCU's steady-state overlapped
+  ///    interval, plus its pipeline-fill warmup when its WarmupPolicy says
+  ///    the pipeline is cold — by default on the PCU's first request and
+  ///    again after any idle gap (start > previous free time), because the
   ///    recalibration overlap only spans back-to-back requests.
-  ///  * !double_buffer: the serial request time, no warmup (each layer
-  ///    pays its own recalibration inline).
+  ///  * !double_buffer: the PCU's serial request time, no warmup (each
+  ///    layer pays its own recalibration inline).
   ///
   /// Preconditions: `queue` is closed and holds requests in nondecreasing
   /// arrival_time order. The queue is drained. Single-threaded and
-  /// deterministic: identical inputs yield a bitwise-identical schedule.
-  /// Returns one entry per request in admission (= arrival) order.
-  std::vector<ScheduledService> simulate_admission(RequestQueue& queue,
-                                                   bool double_buffer);
+  /// deterministic: identical inputs and policy yield a bitwise-identical
+  /// schedule. Returns one entry per request in admission (= arrival)
+  /// order.
+  std::vector<ScheduledService> simulate_admission(
+      RequestQueue& queue, bool double_buffer,
+      DispatchPolicy policy = DispatchPolicy::kEarliestFree);
 
  private:
   std::vector<Pcu> pcus_;
+  bool homogeneous_ = true;
+  std::size_t min_split_passes_ = 0;
 };
 
 } // namespace pcnna::runtime

@@ -131,6 +131,9 @@ TEST(Accelerator, FleetReportBatchScalesLinearly) {
               1e-12 * many.makespan_sequential);
   EXPECT_DOUBLE_EQ(one.energy_per_request, many.energy_per_request);
   EXPECT_GT(one.request_time_serial, 0.0);
+  // The old run_batch's images_per_second, folded into the fleet report.
+  EXPECT_DOUBLE_EQ(1.0 / one.request_time_serial, one.sequential_rps);
+  EXPECT_DOUBLE_EQ(one.sequential_rps, many.sequential_rps);
 }
 
 // Deliberate behavior change from the deprecated run_batch (which threw on

@@ -213,7 +213,8 @@ TEST(BatchRunner, ReportPrintsThroughCommonReport) {
   const std::string text = os.str();
   EXPECT_NE(std::string::npos, text.find("unit test fleet"));
   EXPECT_NE(std::string::npos, text.find("throughput"));
-  EXPECT_NE(std::string::npos, text.find("virtual shard assignment"));
+  EXPECT_NE(std::string::npos, text.find("per-PCU schedule"));
+  EXPECT_NE(std::string::npos, text.find("dispatch policy"));
 }
 
 TEST(BatchRunner, EnergyAggregatesAcrossFleet) {
