@@ -13,6 +13,13 @@
 // and reports p50/p99 per policy — the skew capability-aware dispatch is
 // built to exploit.
 //
+// A third sweep drives a two-tenant SLO mix past fleet capacity
+// (1.2x-1.5x) and contrasts FIFO earliest-free with EDF + load shedding:
+// the SLO-aware front door must hold the interactive tenant's p99 inside
+// its budget where FIFO lets the overload drag every tenant down. A final
+// probe enables the autoscaler and checks the mean active fleet tracks
+// offered load.
+//
 // The sweeps themselves are timing-only (BatchRunner::simulate_open_loop):
 // the admission loop needs no functional inference, so each point can use
 // thousands of requests. Three self-checks gate the exit code:
@@ -184,6 +191,144 @@ int main() {
     }
   }
 
+  // --- SLO sweep: a two-tenant mix (20 % interactive with a tight latency
+  // budget, 80 % best-effort with a loose one) driven past fleet capacity.
+  // Under overload the queue grows without bound, so FIFO earliest-free
+  // drags every tenant's p99 with it; class-partitioned EDF plus load
+  // shedding sacrifices expired best-effort work to hold the interactive
+  // SLO. The self-check gates exactly that split at every overload point.
+  {
+    const double interval = fleet.pool().pcu(0).request_interval_overlapped();
+    const double warmup = fleet.pool().pcu(0).warmup_time();
+    const double interactive_budget = warmup + 6.0 * interval;
+
+    std::vector<runtime::TenantClass> mix(2);
+    mix[0].tenant = 0;
+    mix[0].priority = runtime::PriorityClass::kInteractive;
+    mix[0].weight = 0.2;
+    mix[0].slo_budget = interactive_budget;
+    mix[1].tenant = 1;
+    mix[1].priority = runtime::PriorityClass::kBestEffort;
+    mix[1].weight = 0.8;
+    mix[1].slo_budget = warmup + 60.0 * interval;
+
+    benchutil::DualSink ssink({"load", "policy", "achieved", "shed",
+                               "int p99", "int SLO", "be SLO"},
+                              "pcnna_open_loop_slo.csv");
+
+    const auto tenant_slice = [](const runtime::OpenLoopReport& r,
+                                 std::uint32_t tenant) {
+      for (const runtime::TenantBreakdown& t : r.per_tenant)
+        if (t.tenant == tenant) return t;
+      return runtime::TenantBreakdown{};
+    };
+
+    const double overloads[] = {1.2, 1.35, 1.5};
+    for (int i = 0; i < 3; ++i) {
+      const double load = overloads[i];
+      const runtime::ArrivalSchedule arrivals = runtime::poisson_arrivals(
+          kRequestsPerPoint, load * capacity, kArrivalSeed + 100 + i);
+      const runtime::SloSchedule slos =
+          runtime::assign_tenants(arrivals, mix, kArrivalSeed + 200 + i);
+
+      for (const bool slo_aware : {false, true}) {
+        runtime::BatchRunnerOptions sopts = options;
+        sopts.dispatch = slo_aware ? runtime::DispatchPolicy::kEdf
+                                   : runtime::DispatchPolicy::kEarliestFree;
+        sopts.shed_expired = slo_aware;
+        runtime::BatchRunner runner(config, net, weights, sopts);
+        const runtime::OpenLoopReport r =
+            runner.simulate_open_loop(arrivals, slos);
+        const runtime::TenantBreakdown interactive = tenant_slice(r, 0);
+        const runtime::TenantBreakdown best_effort = tenant_slice(r, 1);
+
+        ssink.row({format_fixed(load, 2) + " x",
+                   slo_aware ? "edf + shed" : "earliest-free",
+                   format_count(r.achieved_rps) + " req/s",
+                   format_fixed(100.0 * r.shed_rate, 1) + " %",
+                   format_time(interactive.latency.p99),
+                   format_fixed(100.0 * interactive.slo_attainment, 1) + " %",
+                   format_fixed(100.0 * best_effort.slo_attainment, 1) +
+                       " %"});
+
+        const std::string point = "slo_" + format_fixed(load, 2) + "x_" +
+                                  (slo_aware ? "edf_shed" : "earliest_free");
+        json.row(point, "achieved_rps", r.achieved_rps, "req/s");
+        json.row(point, "shed_rate", r.shed_rate, "fraction");
+        json.row(point, "interactive_p99", interactive.latency.p99, "s");
+        json.row(point, "interactive_slo_attainment",
+                 interactive.slo_attainment, "fraction");
+        json.row(point, "best_effort_slo_attainment",
+                 best_effort.slo_attainment, "fraction");
+        json.row(point, "slo_attainment", r.slo_attainment, "fraction");
+
+        if (slo_aware) {
+          if (!(interactive.latency.p99 <= interactive_budget &&
+                interactive.slo_attainment >= 0.95)) {
+            std::cout << "FAIL: edf+shed does not hold the interactive SLO "
+                         "at "
+                      << format_fixed(load, 2) << "x (p99 "
+                      << format_time(interactive.latency.p99) << " vs budget "
+                      << format_time(interactive_budget) << ", attainment "
+                      << format_fixed(100.0 * interactive.slo_attainment, 1)
+                      << " %)\n";
+            ok = false;
+          }
+        } else if (!(interactive.latency.p99 > interactive_budget)) {
+          std::cout << "FAIL: earliest-free unexpectedly holds the "
+                       "interactive p99 at "
+                    << format_fixed(load, 2) << "x overload ("
+                    << format_time(interactive.latency.p99) << " <= budget "
+                    << format_time(interactive_budget) << ")\n";
+          ok = false;
+        }
+      }
+    }
+    ssink.print("SLO-aware serving under overload - " + net.name() + ", " +
+                std::to_string(kPcus) + " PCUs, 20 % interactive (budget " +
+                format_time(interactive_budget) + ") + 80 % best-effort");
+    json.row("slo", "interactive_budget", interactive_budget, "s");
+  }
+
+  // --- Autoscaler probe: the same fleet with elastic sizing enabled must
+  // run lean at light load and grow toward the envelope under heavy load.
+  {
+    runtime::BatchRunnerOptions aopts = options;
+    aopts.autoscaler.enabled = true;
+    aopts.autoscaler.min_active = 1;
+    aopts.autoscaler.max_active = kPcus;
+    aopts.autoscaler.backlog_per_pcu = 2.0;
+    aopts.autoscaler.shrink_after_idle =
+        16.0 * fleet.pool().pcu(0).request_interval_overlapped();
+    runtime::BatchRunner elastic(config, net, weights, aopts);
+
+    double mean_active_light = 0.0, mean_active_heavy = 0.0;
+    const double probe_loads[] = {0.25, 0.9};
+    for (int i = 0; i < 2; ++i) {
+      const double load = probe_loads[i];
+      const runtime::OpenLoopReport r = elastic.simulate_open_loop(
+          runtime::poisson_arrivals(kRequestsPerPoint, load * capacity,
+                                    kArrivalSeed + 300 + i));
+      (i == 0 ? mean_active_light : mean_active_heavy) =
+          r.autoscaler.mean_active;
+      const std::string point = "autoscaler_" + format_fixed(load, 2) + "x";
+      json.row(point, "mean_active", r.autoscaler.mean_active, "pcus");
+      json.row(point, "scale_ups",
+               static_cast<double>(r.autoscaler.scale_ups), "events");
+      json.row(point, "scale_downs",
+               static_cast<double>(r.autoscaler.scale_downs), "events");
+      json.row(point, "latency_p99", r.latency.p99, "s");
+    }
+    if (!(mean_active_light < mean_active_heavy &&
+          mean_active_heavy <= static_cast<double>(kPcus))) {
+      std::cout << "FAIL: autoscaler mean active fleet at 0.25x ("
+                << format_fixed(mean_active_light, 2)
+                << ") does not sit below 0.9x ("
+                << format_fixed(mean_active_heavy, 2) << ")\n";
+      ok = false;
+    }
+  }
+
   if (!json.finish()) ok = false;
 
   // The hockey stick: overload tails must tower over light-load tails.
@@ -229,6 +374,6 @@ int main() {
 
   std::cout << "\nself-checks: " << (ok ? "PASS" : "FAIL")
             << " (determinism, hockey stick, mixed-fleet ordering, "
-               "bit-identity)\n";
+               "SLO overload split, autoscaler sizing, bit-identity)\n";
   return ok ? 0 : 1;
 }

@@ -16,6 +16,16 @@ trajectory across PRs:
 
     python3 scripts/bench_summary.py old_run/ new_run/
 
+With --baseline, each current row is also diffed against the committed
+reference results (bench/baselines/ holds the seed run):
+
+    python3 scripts/bench_summary.py build/ --baseline bench/baselines
+
+The diff is warn-only: rows drifting more than WARN_FRACTION from the
+baseline, and rows missing on either side, are reported on stderr but do
+not affect the exit code (benches gate their own regressions via
+self-checks; machine speed makes absolute timing diffs advisory).
+
 Stdlib only; exits non-zero on malformed files or missing inputs.
 """
 
@@ -23,6 +33,9 @@ import glob
 import json
 import os
 import sys
+
+# Relative drift that earns a stderr warning in --baseline mode.
+WARN_FRACTION = 0.10
 
 
 def collect(paths):
@@ -74,18 +87,107 @@ def print_table(source, rows):
     print()
 
 
+def index_rows(rows):
+    """Key rows by (bench, config, metric) for baseline lookup."""
+    return {(r["bench"], r["config"], r["metric"]): r for r in rows}
+
+
+def diff_against_baseline(current, baseline):
+    """Compare two row indexes; return warn-only drift/coverage messages."""
+    messages = []
+    for key, row in sorted(current.items()):
+        base = baseline.get(key)
+        if base is None:
+            messages.append("new row (no baseline): "
+                            f"{key[0]}/{key[1]}/{key[2]}")
+            continue
+        base_value = base["value"]
+        if base_value == 0:
+            if row["value"] != 0:
+                messages.append(
+                    f"drift {key[0]}/{key[1]}/{key[2]}: baseline 0 -> "
+                    f"{fmt_value(row['value'], row['unit'])}")
+            continue
+        rel = (row["value"] - base_value) / abs(base_value)
+        if abs(rel) > WARN_FRACTION:
+            messages.append(
+                f"drift {key[0]}/{key[1]}/{key[2]}: "
+                f"{fmt_value(base_value, base['unit'])} -> "
+                f"{fmt_value(row['value'], row['unit'])} ({rel:+.1%})")
+    for key in sorted(baseline.keys() - current.keys()):
+        messages.append("baseline row missing from this run: "
+                        f"{key[0]}/{key[1]}/{key[2]}")
+    return messages
+
+
+def parse_args(argv):
+    """Split argv into (paths, baseline_path-or-None); -h/--help -> exit."""
+    paths, baseline = [], None
+    args = list(argv[1:])
+    while args:
+        arg = args.pop(0)
+        if arg in ("-h", "--help"):
+            print(__doc__)
+            raise SystemExit(0)
+        if arg == "--baseline":
+            if not args:
+                raise ValueError("--baseline requires a path")
+            baseline = args.pop(0)
+        elif arg.startswith("--baseline="):
+            baseline = arg.split("=", 1)[1]
+        else:
+            paths.append(arg)
+    return paths, baseline
+
+
 def main(argv):
-    files = collect(argv[1:])
+    try:
+        paths, baseline_path = parse_args(argv)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    files = collect(paths)
     if not files:
         print("no BENCH_*.json files found", file=sys.stderr)
         return 1
+
+    baseline = {}
+    if baseline_path is not None:
+        # A missing baseline location is a warning, not an error: fresh
+        # checkouts may predate the committed reference run.
+        baseline_files = (collect([baseline_path])
+                          if os.path.exists(baseline_path) else [])
+        if not baseline_files:
+            print(f"warning: no BENCH_*.json baselines under "
+                  f"{baseline_path}", file=sys.stderr)
+        for path in baseline_files:
+            try:
+                baseline.update(index_rows(load_rows(path)))
+            except (OSError, ValueError, json.JSONDecodeError) as err:
+                print(f"error: {err}", file=sys.stderr)
+                return 1
+
     status = 0
+    current = {}
     for path in files:
         try:
-            print_table(path, load_rows(path))
+            rows = load_rows(path)
+            print_table(path, rows)
+            current.update(index_rows(rows))
         except (OSError, ValueError, json.JSONDecodeError) as err:
             print(f"error: {err}", file=sys.stderr)
             status = 1
+
+    if baseline_path is not None and baseline:
+        messages = diff_against_baseline(current, baseline)
+        if messages:
+            print(f"baseline diff ({len(messages)} warning(s), informational "
+                  "only):", file=sys.stderr)
+            for m in messages:
+                print(f"  warning: {m}", file=sys.stderr)
+        else:
+            print("baseline diff: all rows within "
+                  f"{WARN_FRACTION:.0%} of baseline", file=sys.stderr)
     return status
 
 

@@ -100,6 +100,57 @@ class BenchSummaryTest(unittest.TestCase):
         self.assertEqual(1, status)
         self.assertIn("no BENCH_*.json files found", err)
 
+    def make_baseline_dir(self, rows):
+        base_dir = os.path.join(self.tmp.name, "baselines")
+        os.makedirs(base_dir, exist_ok=True)
+        with open(os.path.join(base_dir, "BENCH_open_loop.json"), "w") as f:
+            json.dump(rows, f)
+        return base_dir
+
+    def test_baseline_diff_is_warn_only(self):
+        # 2x drift on one row, a new row, and a missing baseline row must
+        # all be reported on stderr without failing the run.
+        base_dir = self.make_baseline_dir(FIXTURE_ROWS + [
+            {"bench": "open_loop", "config": "gone", "metric": "latency_p99",
+             "value": 1.0, "unit": "s"}])
+        current = [dict(FIXTURE_ROWS[0], value=FIXTURE_ROWS[0]["value"] * 2),
+                   FIXTURE_ROWS[1], FIXTURE_ROWS[2],
+                   {"bench": "open_loop", "config": "slo_1.20x_edf_shed",
+                    "metric": "interactive_p99", "value": 6e-5, "unit": "s"}]
+        self.write_fixture("BENCH_open_loop.json", current)
+        status, _, err = self.run_main(
+            [self.tmp.name, "--baseline", base_dir])
+        self.assertEqual(0, status, err)
+        self.assertIn("drift open_loop/load_0.8x/latency_p99", err)
+        self.assertIn("+100.0%", err)
+        self.assertIn(
+            "new row (no baseline): open_loop/slo_1.20x_edf_shed", err)
+        self.assertIn(
+            "baseline row missing from this run: open_loop/gone", err)
+
+    def test_baseline_diff_quiet_when_within_tolerance(self):
+        base_dir = self.make_baseline_dir(FIXTURE_ROWS)
+        nudged = [dict(r, value=r["value"] * 1.05) for r in FIXTURE_ROWS]
+        self.write_fixture("BENCH_open_loop.json", nudged)
+        status, _, err = self.run_main(
+            [self.tmp.name, f"--baseline={base_dir}"])
+        self.assertEqual(0, status, err)
+        self.assertNotIn("drift", err)
+        self.assertIn("all rows within", err)
+
+    def test_missing_baseline_dir_warns_but_passes(self):
+        self.write_fixture("BENCH_open_loop.json", FIXTURE_ROWS)
+        status, _, err = self.run_main(
+            [self.tmp.name, "--baseline",
+             os.path.join(self.tmp.name, "nonexistent")])
+        self.assertEqual(0, status, err)
+        self.assertIn("no BENCH_*.json baselines", err)
+
+    def test_baseline_flag_requires_a_path(self):
+        status, _, err = self.run_main(["--baseline"])
+        self.assertEqual(1, status)
+        self.assertIn("--baseline requires a path", err)
+
 
 if __name__ == "__main__":
     unittest.main()

@@ -103,4 +103,37 @@ double offered_rate(const ArrivalSchedule& arrivals) {
   return static_cast<double>(arrivals.size()) / arrivals.back();
 }
 
+SloSchedule assign_tenants(const ArrivalSchedule& arrivals,
+                           const std::vector<TenantClass>& mix,
+                           std::uint64_t seed) {
+  PCNNA_CHECK_MSG(!mix.empty(), "assign_tenants needs at least one tenant");
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    PCNNA_CHECK_MSG(std::isfinite(mix[i].weight) && mix[i].weight > 0.0,
+                    "tenant mix entry " << i << " has invalid weight "
+                                        << mix[i].weight);
+    total_weight += mix[i].weight;
+  }
+
+  Rng rng(seed);
+  SloSchedule slos;
+  slos.reserve(arrivals.size());
+  for (double arrival : arrivals) {
+    // Weighted inverse-CDF draw over the mix; the final entry absorbs any
+    // floating-point shortfall so the draw always lands.
+    double u = rng.uniform() * total_weight;
+    std::size_t pick = mix.size() - 1;
+    for (std::size_t i = 0; i + 1 < mix.size(); ++i) {
+      u -= mix[i].weight;
+      if (u < 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    const TenantClass& t = mix[pick];
+    slos.push_back({t.tenant, t.priority, arrival + t.slo_budget});
+  }
+  return slos;
+}
+
 } // namespace pcnna::runtime

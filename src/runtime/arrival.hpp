@@ -22,8 +22,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <string>
 #include <vector>
+
+#include "runtime/request_queue.hpp"
 
 namespace pcnna::runtime {
 
@@ -69,5 +72,26 @@ void write_arrival_trace(std::ostream& out, const ArrivalSchedule& arrivals);
 /// count / last arrival time. Returns +inf when the schedule is empty or
 /// every request arrives at t = 0 (the closed batch offers "infinite" load).
 double offered_rate(const ArrivalSchedule& arrivals);
+
+/// One tenant of a multi-tenant traffic mix: its share of the request
+/// stream, its priority tier, and its latency budget.
+struct TenantClass {
+  std::uint32_t tenant = 0;
+  PriorityClass priority = PriorityClass::kStandard;
+  /// Relative share of the stream (normalized over the mix; must be > 0).
+  double weight = 1.0;
+  /// Per-request latency budget [s]: request i's absolute deadline is
+  /// arrival_i + slo_budget. +inf (the default) means no SLO.
+  double slo_budget = std::numeric_limits<double>::infinity();
+};
+
+/// Deterministically assign each arrival to one TenantClass of `mix` by a
+/// seeded weighted draw (common::Rng, same determinism contract as
+/// poisson_arrivals), returning the index-aligned SloSchedule with each
+/// request's absolute deadline already resolved against its arrival time.
+/// Throws pcnna::Error when `mix` is empty or any weight is not > 0.
+SloSchedule assign_tenants(const ArrivalSchedule& arrivals,
+                           const std::vector<TenantClass>& mix,
+                           std::uint64_t seed);
 
 } // namespace pcnna::runtime

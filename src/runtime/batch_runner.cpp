@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <map>
 #include <ostream>
 #include <utility>
 
@@ -49,8 +50,8 @@ BatchRunner::BatchRunner(std::vector<PcuSpec> specs, nn::Network net,
 }
 
 std::vector<InferenceRequest> BatchRunner::make_requests(
-    const std::vector<nn::Tensor>& inputs,
-    const ArrivalSchedule& arrivals) const {
+    const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
+    const SloSchedule& slos) const {
   std::vector<InferenceRequest> requests;
   requests.reserve(inputs.size());
   for (std::size_t id = 0; id < inputs.size(); ++id) {
@@ -58,6 +59,11 @@ std::vector<InferenceRequest> BatchRunner::make_requests(
     request.id = id;
     request.seed = derive_request_seed(options_.seed, id);
     request.arrival_time = arrivals.empty() ? 0.0 : arrivals[id];
+    if (!slos.empty()) {
+      request.tenant = slos[id].tenant;
+      request.priority = slos[id].priority;
+      request.deadline = slos[id].deadline;
+    }
     request.input = inputs[id];
     requests.push_back(std::move(request));
   }
@@ -67,7 +73,7 @@ std::vector<InferenceRequest> BatchRunner::make_requests(
 std::vector<RequestResult> BatchRunner::serve(
     std::vector<InferenceRequest> requests,
     const std::vector<ScheduledService>& schedule, bool simulate_values) {
-  if (pool_.homogeneous()) {
+  if (pool_.homogeneous() && !options_.shed_expired) {
     // Dynamic sharding: any PCU computes the same bits for a request, so
     // the fastest host thread simply grabs the next one.
     const std::size_t batch = requests.size();
@@ -78,6 +84,8 @@ std::vector<RequestResult> BatchRunner::serve(
   }
   // Heterogeneous: the scheduled PCU's device model must produce each
   // output, so the physical assignment follows the virtual-time schedule.
+  // With shedding the schedule also decides *which* requests run at all,
+  // so a homogeneous pool follows it too (shed ids stay placeholders).
   return pool_.serve_scheduled(std::move(requests), schedule, simulate_values);
 }
 
@@ -90,12 +98,13 @@ std::vector<RequestResult> BatchRunner::run(
   // that prices open-loop serving prices it. A homogeneous fleet without a
   // report skips it (dynamic sharding needs no assignment).
   std::vector<ScheduledService> schedule;
-  if (!pool_.homogeneous() || report)
-    schedule = simulate_schedule(closed_batch_arrivals(batch));
+  if (!pool_.homogeneous() || report || options_.shed_expired)
+    schedule =
+        simulate_admission_result(closed_batch_arrivals(batch), {}).schedule;
 
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<RequestResult> results =
-      serve(make_requests(inputs, {}), schedule, options_.simulate_values);
+      serve(make_requests(inputs, {}, {}), schedule, options_.simulate_values);
   const auto wall_end = std::chrono::steady_clock::now();
 
   if (report) {
@@ -148,28 +157,42 @@ std::vector<RequestResult> BatchRunner::run(
 std::vector<RequestResult> BatchRunner::run_open_loop(
     const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
     OpenLoopReport* report) {
+  return run_open_loop(inputs, arrivals, SloSchedule{}, report);
+}
+
+std::vector<RequestResult> BatchRunner::run_open_loop(
+    const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
+    const SloSchedule& slos, OpenLoopReport* report) {
   PCNNA_CHECK_MSG(arrivals.size() == inputs.size(),
                   "open loop needs one arrival per input: "
                       << arrivals.size() << " arrivals for " << inputs.size()
                       << " inputs");
+  PCNNA_CHECK_MSG(slos.empty() || slos.size() == arrivals.size(),
+                  "SLO schedule covers " << slos.size() << " requests but "
+                                         << arrivals.size() << " arrive");
   validate_arrival_schedule(arrivals);
 
   // On a homogeneous fleet physical serving is identical to the closed
   // batch: arrival times shape only the virtual-time schedule, never the
   // per-request seeds, so the outputs stay bit-identical to
   // run()/run_one(). A heterogeneous fleet additionally follows the
-  // schedule's PCU assignment, so outputs are still deterministic.
-  std::vector<ScheduledService> schedule;
-  if (!pool_.homogeneous() || report) schedule = simulate_schedule(arrivals);
+  // schedule's PCU assignment, so outputs are still deterministic. With
+  // shedding the schedule is always needed: it decides which requests run.
+  AdmissionResult admission;
+  if (!pool_.homogeneous() || report || options_.shed_expired)
+    admission = simulate_admission_result(arrivals, slos);
 
   const std::size_t batch = inputs.size();
   const auto wall_start = std::chrono::steady_clock::now();
-  std::vector<RequestResult> results = serve(
-      make_requests(inputs, arrivals), schedule, options_.simulate_values);
+  std::vector<RequestResult> results =
+      serve(make_requests(inputs, arrivals, slos), admission.schedule,
+            options_.simulate_values);
   const auto wall_end = std::chrono::steady_clock::now();
+  for (const ShedDecision& d : admission.shed.decisions)
+    results[static_cast<std::size_t>(d.id)].shed = true;
 
   if (report) {
-    OpenLoopReport r = summarize_schedule(schedule, arrivals);
+    OpenLoopReport r = summarize_schedule(admission, arrivals);
     for (const RequestResult& result : results) r.total_energy += result.energy;
     r.energy_per_request =
         batch == 0 ? 0.0 : r.total_energy / static_cast<double>(batch);
@@ -181,13 +204,21 @@ std::vector<RequestResult> BatchRunner::run_open_loop(
 }
 
 OpenLoopReport BatchRunner::simulate_open_loop(const ArrivalSchedule& arrivals) {
+  return simulate_open_loop(arrivals, SloSchedule{});
+}
+
+OpenLoopReport BatchRunner::simulate_open_loop(const ArrivalSchedule& arrivals,
+                                               const SloSchedule& slos) {
+  PCNNA_CHECK_MSG(slos.empty() || slos.size() == arrivals.size(),
+                  "SLO schedule covers " << slos.size() << " requests but "
+                                         << arrivals.size() << " arrive");
   validate_arrival_schedule(arrivals);
-  const std::vector<ScheduledService> schedule = simulate_schedule(arrivals);
-  OpenLoopReport r = summarize_schedule(schedule, arrivals);
+  const AdmissionResult admission = simulate_admission_result(arrivals, slos);
+  OpenLoopReport r = summarize_schedule(admission, arrivals);
   // Timing-only energy: the per-request analytical total of the PCU each
   // request was dispatched to, which the functional path reproduces
-  // (values never change layer energy).
-  for (const ScheduledService& s : schedule)
+  // (values never change layer energy). Shed requests burn no energy.
+  for (const ScheduledService& s : admission.schedule)
     r.total_energy += pool_.pcu(s.pcu).request_energy();
   r.energy_per_request = r.requests == 0
                              ? 0.0
@@ -196,20 +227,29 @@ OpenLoopReport BatchRunner::simulate_open_loop(const ArrivalSchedule& arrivals) 
   return r;
 }
 
-std::vector<ScheduledService> BatchRunner::simulate_schedule(
-    const ArrivalSchedule& arrivals) {
-  // Lightweight replay stream: the admission loop needs only ids and
-  // arrival timestamps, so the tensors stay behind.
+AdmissionResult BatchRunner::simulate_admission_result(
+    const ArrivalSchedule& arrivals, const SloSchedule& slos) {
+  // Lightweight replay stream: the admission loop needs only ids, arrival
+  // timestamps, and SLO metadata, so the tensors stay behind.
   RequestQueue queue;
   for (std::size_t id = 0; id < arrivals.size(); ++id) {
     InferenceRequest request;
     request.id = id;
     request.arrival_time = arrivals[id];
+    if (!slos.empty()) {
+      request.tenant = slos[id].tenant;
+      request.priority = slos[id].priority;
+      request.deadline = slos[id].deadline;
+    }
     queue.push(std::move(request));
   }
   queue.close();
-  return pool_.simulate_admission(queue, options_.double_buffer,
-                                  options_.dispatch);
+  AdmissionOptions admission;
+  admission.double_buffer = options_.double_buffer;
+  admission.policy = options_.dispatch;
+  admission.shed_expired = options_.shed_expired;
+  admission.autoscaler = options_.autoscaler;
+  return pool_.simulate_admission(queue, admission);
 }
 
 double BatchRunner::fill_breakdowns(
@@ -232,11 +272,18 @@ double BatchRunner::fill_breakdowns(
 }
 
 OpenLoopReport BatchRunner::summarize_schedule(
-    const std::vector<ScheduledService>& schedule,
-    const ArrivalSchedule& arrivals) const {
+    const AdmissionResult& admission, const ArrivalSchedule& arrivals) const {
+  const std::vector<ScheduledService>& schedule = admission.schedule;
   OpenLoopReport r;
   r.pcus = pool_.size();
-  r.requests = schedule.size();
+  r.served_requests = schedule.size();
+  r.shed_requests = admission.shed.shed;
+  r.requests = r.served_requests + r.shed_requests; // offered
+  r.shed_rate = r.requests == 0
+                    ? 0.0
+                    : static_cast<double>(r.shed_requests) /
+                          static_cast<double>(r.requests);
+  r.autoscaler = admission.autoscaler;
   r.fidelity = options_.fidelity;
   r.double_buffer = options_.double_buffer;
   r.dispatch = options_.dispatch;
@@ -263,6 +310,12 @@ OpenLoopReport BatchRunner::summarize_schedule(
     waits.push_back(s.start - s.arrival);
     wait_sum += s.start - s.arrival;
   }
+  // Shed requests sat in the queue from arrival to the shed decision;
+  // that residency is real queue occupancy even though they were never
+  // served, so it counts toward the time-averaged depth (but not toward
+  // the served-latency distributions).
+  for (const ShedDecision& d : admission.shed.decisions)
+    wait_sum += d.decision_time - d.arrival;
   r.latency = summarize_distribution(std::move(latencies));
   r.queue_wait = summarize_distribution(std::move(waits));
 
@@ -275,10 +328,55 @@ OpenLoopReport BatchRunner::summarize_schedule(
   }
 
   if (r.makespan > 0.0) {
-    r.achieved_rps = static_cast<double>(r.requests) / r.makespan;
+    r.achieved_rps = static_cast<double>(r.served_requests) / r.makespan;
     // Little's law on the wait room: time-averaged queue depth equals
     // total waiting time over the observation window.
     r.mean_queue_depth = wait_sum / r.makespan;
+  }
+
+  // Per-tenant SLO slices, only for runs that actually carried SLO
+  // metadata — legacy reports keep their trivial defaults.
+  bool slo_aware = admission.shed.shed > 0;
+  for (const ScheduledService& s : schedule) {
+    if (s.tenant != 0 || s.priority != PriorityClass::kStandard ||
+        std::isfinite(s.deadline)) {
+      slo_aware = true;
+      break;
+    }
+  }
+  if (slo_aware) {
+    std::map<std::uint32_t, TenantBreakdown> tenants;
+    std::map<std::uint32_t, std::vector<double>> tenant_latencies;
+    for (const ScheduledService& s : schedule) {
+      TenantBreakdown& t = tenants[s.tenant];
+      t.tenant = s.tenant;
+      t.requests += 1;
+      t.served += 1;
+      if (s.completion > s.deadline) t.slo_misses += 1;
+      tenant_latencies[s.tenant].push_back(s.completion - s.arrival);
+    }
+    for (const ShedDecision& d : admission.shed.decisions) {
+      TenantBreakdown& t = tenants[d.tenant];
+      t.tenant = d.tenant;
+      t.requests += 1;
+      t.shed += 1;
+      t.slo_misses += 1; // a shed request never meets its SLO
+    }
+    std::size_t misses = 0;
+    for (auto& [tenant, t] : tenants) {
+      misses += t.slo_misses;
+      t.slo_attainment =
+          t.requests == 0
+              ? 1.0
+              : static_cast<double>(t.requests - t.slo_misses) /
+                    static_cast<double>(t.requests);
+      t.latency = summarize_distribution(std::move(tenant_latencies[tenant]));
+      r.per_tenant.push_back(std::move(t));
+    }
+    r.slo_attainment = r.requests == 0
+                           ? 1.0
+                           : static_cast<double>(r.requests - misses) /
+                                 static_cast<double>(r.requests);
   }
   // Energy is filled by the caller: run_open_loop sums the functional
   // RequestResults, simulate_open_loop the analytical per-request totals.
@@ -389,10 +487,42 @@ void BatchRunner::print_report(const OpenLoopReport& report, std::ostream& os,
   table.add_row({"mean queue depth",
                  format_fixed(report.mean_queue_depth, 2) + " req"});
   table.add_separator();
+  if (!report.per_tenant.empty()) {
+    table.add_row({"served requests",
+                   std::to_string(report.served_requests)});
+    table.add_row({"shed requests",
+                   std::to_string(report.shed_requests) + " (" +
+                       format_fixed(100.0 * report.shed_rate, 1) + " %)"});
+    table.add_row({"SLO attainment",
+                   format_fixed(100.0 * report.slo_attainment, 2) + " %"});
+  }
+  if (report.autoscaler.scale_ups > 0 || report.autoscaler.scale_downs > 0 ||
+      (report.autoscaler.mean_active > 0.0 &&
+       report.autoscaler.mean_active !=
+           static_cast<double>(report.pcus))) {
+    table.add_separator();
+    table.add_row({"autoscaler mean active",
+                   format_fixed(report.autoscaler.mean_active, 2) + " PCU"});
+    table.add_row({"autoscaler scale-ups",
+                   std::to_string(report.autoscaler.scale_ups)});
+    table.add_row({"autoscaler scale-downs",
+                   std::to_string(report.autoscaler.scale_downs)});
+  }
   table.add_row({"energy / request", format_energy(report.energy_per_request)});
   table.add_row({"fleet energy", format_energy(report.total_energy)});
   table.add_row({"host wall time", format_time(report.wall_seconds)});
   table.print(os, title);
+
+  if (!report.per_tenant.empty()) {
+    TextTable tenants({"tenant", "requests", "served", "shed",
+                       "SLO attainment", "latency p99"});
+    for (const TenantBreakdown& t : report.per_tenant)
+      tenants.add_row({std::to_string(t.tenant), std::to_string(t.requests),
+                       std::to_string(t.served), std::to_string(t.shed),
+                       format_fixed(100.0 * t.slo_attainment, 2) + " %",
+                       format_time(t.latency.p99)});
+    tenants.print(os, "per-tenant SLO");
+  }
 
   print_breakdowns(report.per_pcu, os);
 }

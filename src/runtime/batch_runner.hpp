@@ -30,8 +30,11 @@
 //
 //  * Simulated hardware time is accounted by the deterministic virtual-time
 //    admission loop (PcuPool::simulate_admission): requests are admitted in
-//    arrival order and dispatched by BatchRunnerOptions::dispatch
-//    (earliest-free, least-loaded, or capability-aware). All reported
+//    arrival order (or by deadline urgency under kEdf) and dispatched by
+//    BatchRunnerOptions::dispatch (earliest-free, least-loaded,
+//    capability-aware, or EDF). With shed_expired the loop load-sheds
+//    requests that cannot meet their deadline; with options.autoscaler the
+//    active fleet grows and shrinks against backlog. All reported
 //    latency / throughput / energy numbers come from this schedule, so
 //    reports are reproducible run to run and machine to machine.
 //
@@ -73,6 +76,14 @@ struct BatchRunnerOptions {
   /// (see runtime::DispatchPolicy). The default reproduces the
   /// pre-heterogeneous earliest-free behavior bit for bit.
   DispatchPolicy dispatch = DispatchPolicy::kEarliestFree;
+  /// Load shedding: reject a request whose predicted completion would
+  /// exceed its deadline instead of serving it late
+  /// (AdmissionOptions::shed_expired). Shed requests come back as id-only
+  /// placeholder results with RequestResult::shed set.
+  bool shed_expired = false;
+  /// Elastic fleet sizing of the admission loop (see AutoscalerPolicy);
+  /// disabled by default — the whole fleet is always active.
+  AutoscalerPolicy autoscaler;
   /// Base seed; per-request engine seeds derive from it (SplitMix64), so
   /// the whole batch is reproducible from this one number.
   std::uint64_t seed = 1;
@@ -155,6 +166,23 @@ struct FleetReport {
   double wall_seconds = 0.0;
 };
 
+/// Per-tenant slice of an SLO-aware open-loop run. A request meets its SLO
+/// when it is served and completes by its deadline (+inf deadlines always
+/// count as met); shed requests always count as missed.
+struct TenantBreakdown {
+  std::uint32_t tenant = 0;
+  /// Offered requests (served + shed).
+  std::size_t requests = 0;
+  std::size_t served = 0;
+  std::size_t shed = 0;
+  /// Served-late plus shed.
+  std::size_t slo_misses = 0;
+  /// (requests - slo_misses) / requests; 1.0 for an empty tenant.
+  double slo_attainment = 1.0;
+  /// Sojourn latency of the *served* requests [s].
+  DistributionSummary latency;
+};
+
 /// Open-loop serving summary. All times are simulated hardware seconds
 /// unless suffixed _wall; all rates are requests per simulated second.
 struct OpenLoopReport {
@@ -167,8 +195,9 @@ struct OpenLoopReport {
   /// Offered load of the arrival schedule (requests / last arrival time
   /// [req/s]; +inf for the degenerate closed batch).
   double offered_rps = 0.0;
-  /// requests / makespan [req/s]. Tracks offered_rps below saturation and
-  /// pins at fleet_capacity_rps above it.
+  /// served_requests / makespan [req/s]. Tracks offered_rps below
+  /// saturation and pins at fleet_capacity_rps above it (shed requests
+  /// never count as achieved work).
   double achieved_rps = 0.0;
   /// Steady-state saturation throughput: sum over PCUs of
   /// 1 / steady-state service interval [req/s]. On a heterogeneous fleet
@@ -200,6 +229,25 @@ struct OpenLoopReport {
 
   double total_energy = 0.0;       ///< [J]
   double energy_per_request = 0.0; ///< [J]
+
+  // --- SLO-aware serving (meaningful when the run carried tenants,
+  // deadlines, or shedding; trivial defaults otherwise) ---
+
+  /// Requests actually dispatched to a PCU (= requests - shed_requests).
+  std::size_t served_requests = 0;
+  /// Requests load shedding rejected.
+  std::size_t shed_requests = 0;
+  /// shed_requests / requests (0 when nothing was offered).
+  double shed_rate = 0.0;
+  /// Fleet-wide SLO attainment: requests served by their deadline over
+  /// offered requests (+inf deadlines count as met, shed as missed).
+  double slo_attainment = 1.0;
+  /// Per-tenant attainment/shed slices, ordered by tenant id. Populated
+  /// only for SLO-aware runs (some request carried a tenant, a non-default
+  /// priority, a finite deadline — or something was shed).
+  std::vector<TenantBreakdown> per_tenant;
+  /// Elastic-sizing outcome (mean_active == pcus when disabled).
+  AutoscalerStats autoscaler;
 
   /// Host seconds spent on the call (0 for simulate_open_loop, which does
   /// no functional work).
@@ -257,12 +305,28 @@ class BatchRunner {
       const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
       OpenLoopReport* report = nullptr);
 
+  /// SLO-aware open loop: like run_open_loop, with request i additionally
+  /// carrying slos[i]'s tenant, priority class, and absolute deadline
+  /// (runtime::assign_tenants builds an SloSchedule from a TenantClass
+  /// mix; an empty `slos` means no SLO metadata). With
+  /// options().shed_expired the admission loop may reject requests — those
+  /// come back as id-only placeholders with RequestResult::shed set, and
+  /// the report carries shed counts and per-tenant SLO attainment.
+  std::vector<RequestResult> run_open_loop(
+      const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
+      const SloSchedule& slos, OpenLoopReport* report);
+
   /// Timing-only open loop: simulate the admission schedule for `arrivals`
   /// and return its report without running any functional inference
   /// (energy is filled from the per-request analytical model of the PCU
   /// each request was dispatched to). Lets load sweeps use tens of
   /// thousands of requests cheaply.
   OpenLoopReport simulate_open_loop(const ArrivalSchedule& arrivals);
+
+  /// Timing-only SLO-aware open loop (see the SloSchedule overload of
+  /// run_open_loop for the `slos` contract).
+  OpenLoopReport simulate_open_loop(const ArrivalSchedule& arrivals,
+                                    const SloSchedule& slos);
 
   /// Sequential single-PCU baseline: serves request `id` on PCU 0 with the
   /// same per-request seed run() would use — the bit-identity reference.
@@ -277,27 +341,28 @@ class BatchRunner {
                            const std::string& title = "open-loop serving");
 
  private:
-  /// Timing-only admission-loop schedule for requests 0..arrivals.size()-1
-  /// (no tensors, no functional work), under options_.dispatch.
-  std::vector<ScheduledService> simulate_schedule(
-      const ArrivalSchedule& arrivals);
+  /// Timing-only admission-loop run for requests 0..arrivals.size()-1
+  /// (no tensors, no functional work), under options_'s dispatch,
+  /// shedding, and autoscaler settings.
+  AdmissionResult simulate_admission_result(const ArrivalSchedule& arrivals,
+                                            const SloSchedule& slos);
 
-  /// Build the dense request vector (ids, SplitMix64 seeds, arrivals,
-  /// inputs) the serving paths share.
+  /// Build the dense request vector (ids, SplitMix64 seeds, arrivals, SLO
+  /// metadata, inputs) the serving paths share.
   std::vector<InferenceRequest> make_requests(
-      const std::vector<nn::Tensor>& inputs,
-      const ArrivalSchedule& arrivals) const;
+      const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
+      const SloSchedule& slos) const;
 
   /// Physically serve `requests`: dynamic sharding on a homogeneous pool,
-  /// schedule-driven assignment otherwise.
+  /// schedule-driven assignment otherwise — and always schedule-driven
+  /// when shedding may skip requests.
   std::vector<RequestResult> serve(std::vector<InferenceRequest> requests,
                                    const std::vector<ScheduledService>& schedule,
                                    bool simulate_values);
 
   /// Derive every schedule-dependent OpenLoopReport field.
-  OpenLoopReport summarize_schedule(
-      const std::vector<ScheduledService>& schedule,
-      const ArrivalSchedule& arrivals) const;
+  OpenLoopReport summarize_schedule(const AdmissionResult& admission,
+                                    const ArrivalSchedule& arrivals) const;
 
   /// Fill `out` (sized pool_.size()) from the schedule; returns the
   /// makespan so both report types share the accounting.

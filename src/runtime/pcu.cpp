@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/error.hpp"
 #include "core/energy_model.hpp"
 #include "core/scheduler.hpp"
 #include "core/timing_model.hpp"
@@ -15,7 +16,9 @@ const char* warmup_policy_name(WarmupPolicy policy) {
     case WarmupPolicy::kPinnedAfterFirst: return "pinned-after-first";
     case WarmupPolicy::kAlwaysCold: return "always-cold";
   }
-  return "?";
+  // -Werror=switch makes the switch exhaustive at build time; reaching
+  // here means an out-of-range cast, not a missing case.
+  throw Error("invalid WarmupPolicy");
 }
 
 Pcu::Pcu(std::size_t index, const core::PcnnaConfig& config,

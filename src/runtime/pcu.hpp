@@ -71,6 +71,9 @@ struct RequestResult {
   double service_time_overlapped = 0.0;
   /// Simulated energy for the request [J].
   double energy = 0.0;
+  /// True when load shedding rejected the request instead of serving it:
+  /// the slot is an id-only placeholder (empty output, zero times/energy).
+  bool shed = false;
 };
 
 /// Cumulative counters for one PCU (wall-clock sharding outcome).

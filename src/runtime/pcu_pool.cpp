@@ -1,9 +1,11 @@
 #include "runtime/pcu_pool.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <limits>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -16,8 +18,11 @@ const char* dispatch_policy_name(DispatchPolicy policy) {
     case DispatchPolicy::kEarliestFree: return "earliest-free";
     case DispatchPolicy::kLeastLoaded: return "least-loaded";
     case DispatchPolicy::kCapabilityAware: return "capability-aware";
+    case DispatchPolicy::kEdf: return "edf";
   }
-  return "?";
+  // -Werror=switch makes the switch exhaustive at build time; reaching
+  // here means an out-of-range cast, not a missing case.
+  throw Error("invalid DispatchPolicy");
 }
 
 namespace {
@@ -113,24 +118,28 @@ std::vector<RequestResult> PcuPool::serve_all(RequestQueue& queue,
 std::vector<RequestResult> PcuPool::serve_scheduled(
     std::vector<InferenceRequest> requests,
     const std::vector<ScheduledService>& schedule, bool simulate_values) {
-  PCNNA_CHECK_MSG(schedule.size() == requests.size(),
-                  "schedule covers " << schedule.size() << " requests, got "
-                                     << requests.size());
+  PCNNA_CHECK_MSG(schedule.size() <= requests.size(),
+                  "schedule covers " << schedule.size()
+                                     << " requests but only "
+                                     << requests.size() << " were given");
   // Per-PCU assignment lists in schedule (= admission) order; each request
-  // id must be scheduled exactly once and index into `requests`.
+  // id must be scheduled at most once and index into `requests`. Ids the
+  // schedule skips (load-shed requests) are simply never served — their
+  // result slot stays an id-only placeholder.
   std::vector<std::vector<std::size_t>> assigned(pcus_.size());
   std::vector<unsigned char> seen(requests.size(), 0);
   for (const ScheduledService& s : schedule) {
     PCNNA_CHECK_MSG(s.pcu < pcus_.size(),
                     "scheduled PCU " << s.pcu << " out of range");
     PCNNA_CHECK_MSG(s.id < requests.size() && !seen[s.id],
-                    "schedule must name each request id exactly once (id "
+                    "schedule must name each request id at most once (id "
                         << s.id << ")");
     seen[s.id] = 1;
     assigned[s.pcu].push_back(static_cast<std::size_t>(s.id));
   }
 
   std::vector<RequestResult> results(requests.size());
+  for (std::size_t id = 0; id < results.size(); ++id) results[id].id = id;
   std::mutex error_mu;
   std::exception_ptr first_error;
 
@@ -156,18 +165,74 @@ std::vector<RequestResult> PcuPool::serve_scheduled(
   return results;
 }
 
-std::vector<ScheduledService> PcuPool::simulate_admission(
-    RequestQueue& queue, bool double_buffer, DispatchPolicy policy) {
+namespace {
+
+/// Scheduling-relevant slice of an InferenceRequest, parked in the
+/// event-driven pending set between arrival and dispatch (the input tensor
+/// never affects timing, so it is not carried).
+struct PendingRequest {
+  std::uint64_t id = 0;
+  double arrival = 0.0;
+  std::uint32_t tenant = 0;
+  PriorityClass priority = PriorityClass::kStandard;
+  double deadline = std::numeric_limits<double>::infinity();
+};
+
+/// Dispatch order of the pending set. Under kEdf: strict PriorityClass
+/// precedence, then earliest absolute deadline (class-partitioned EDF —
+/// a near-expiry best-effort request must not overtake fresh interactive
+/// traffic). Every other policy keeps FIFO order. (arrival, id) always
+/// closes the ordering, so the set is a strict weak order with unique keys.
+struct UrgencyOrder {
+  bool edf = false;
+  bool operator()(const PendingRequest& a, const PendingRequest& b) const {
+    if (edf) {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    }
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.id < b.id;
+  }
+};
+
+} // namespace
+
+AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
+                                            const AdmissionOptions& options) {
   PCNNA_CHECK_MSG(queue.closed(),
                   "simulate_admission needs a closed request stream");
+  const bool double_buffer = options.double_buffer;
+  const DispatchPolicy policy = options.policy;
 
+  // Resolve the autoscaler envelope against the pool size.
+  const AutoscalerPolicy& scaler = options.autoscaler;
+  const std::size_t max_active =
+      scaler.enabled && scaler.max_active > 0
+          ? std::min(scaler.max_active, pcus_.size())
+          : pcus_.size();
+  const std::size_t min_active =
+      scaler.enabled ? scaler.min_active : pcus_.size();
+  if (scaler.enabled) {
+    PCNNA_CHECK_MSG(min_active >= 1 && min_active <= max_active,
+                    "autoscaler needs 1 <= min_active <= max_active, got ["
+                        << min_active << ", " << max_active << "]");
+  }
+
+  AdmissionResult result;
   std::vector<double> free_at(pcus_.size(), 0.0);
   std::vector<std::size_t> served(pcus_.size(), 0);
-  std::vector<ScheduledService> schedule;
+  // Autoscaler state. Without it every PCU is active forever and
+  // force_cold never fires, so the lambdas below behave exactly as before.
+  std::vector<unsigned char> active(pcus_.size(), 0);
+  std::vector<unsigned char> force_cold(pcus_.size(), 0);
+  std::vector<double> activated_at(pcus_.size(), 0.0);
+  std::size_t active_count = scaler.enabled ? min_active : pcus_.size();
+  for (std::size_t p = 0; p < active_count; ++p) active[p] = 1;
 
   // Pipeline-fill charge for dispatching a request to PCU p at `start`,
   // per that PCU's warmup policy. Zero on the serial schedule: without
-  // double buffering every layer pays its recalibration inline.
+  // double buffering every layer pays its recalibration inline. A PCU the
+  // autoscaler just (re)activated is cold regardless of policy.
   const auto warmup_charge = [&](std::size_t p, double start) -> double {
     if (!double_buffer) return 0.0;
     bool cold = true;
@@ -176,6 +241,9 @@ std::vector<ScheduledService> PcuPool::simulate_admission(
         // An idle gap drains the double-buffer pipeline, so the next
         // request pays the pipeline-fill warmup again; within a
         // back-to-back streak only the steady-state interval is charged.
+        // start == free_at[p] is back-to-back — the comparison must stay
+        // strictly greater-than, or a request landing exactly when the
+        // PCU frees would be double-charged warmup.
         cold = served[p] == 0 || start > free_at[p];
         break;
       case WarmupPolicy::kPinnedAfterFirst:
@@ -185,7 +253,7 @@ std::vector<ScheduledService> PcuPool::simulate_admission(
         cold = true;
         break;
     }
-    return cold ? pcus_[p].warmup_time() : 0.0;
+    return (cold || force_cold[p]) ? pcus_[p].warmup_time() : 0.0;
   };
 
   // Service span on PCU p for a request starting at `start`; the policies
@@ -196,54 +264,221 @@ std::vector<ScheduledService> PcuPool::simulate_admission(
     return pcus_[p].request_interval_overlapped() + warmup_charge(p, start);
   };
 
-  const auto pick_pcu = [&](double arrival) -> std::size_t {
-    if (policy == DispatchPolicy::kEarliestFree) {
-      return static_cast<std::size_t>(
-          std::min_element(free_at.begin(), free_at.end()) - free_at.begin());
+  // Commit one dispatch: charge service on PCU p starting at `start` and
+  // append the schedule entry.
+  const auto dispatch = [&](const PendingRequest& r, std::size_t p,
+                            double start) {
+    const double warmup = warmup_charge(p, start);
+    const double service =
+        double_buffer ? pcus_[p].request_interval_overlapped() + warmup
+                      : pcus_[p].request_time_serial();
+    const double completion = start + service;
+    free_at[p] = completion;
+    served[p] += 1;
+    force_cold[p] = 0;
+    result.schedule.push_back({r.id, p, r.arrival, start, completion, warmup,
+                               r.tenant, r.priority, r.deadline});
+  };
+
+  const auto capable = [&](std::size_t p) {
+    return policy != DispatchPolicy::kCapabilityAware ||
+           pcus_[p].channel_split_passes() == min_split_passes_;
+  };
+
+  const bool deferred = policy == DispatchPolicy::kEdf ||
+                        options.shed_expired || scaler.enabled;
+
+  if (!deferred) {
+    // Eager mode — the pre-SLO code path, kept bit-identical. Dispatching
+    // at admission is exact for a FIFO stream: every policy scores
+    // candidates from the deterministic free times alone, not from when
+    // the decision is made.
+    const auto pick_pcu = [&](double arrival) -> std::size_t {
+      if (policy == DispatchPolicy::kEarliestFree) {
+        return static_cast<std::size_t>(
+            std::min_element(free_at.begin(), free_at.end()) -
+            free_at.begin());
+      }
+      // kLeastLoaded / kCapabilityAware: earliest predicted completion,
+      // the latter restricted to PCUs that map the network with the
+      // fleet-minimum number of segmented bank passes (no extra splits).
+      std::size_t best = pcus_.size();
+      double best_completion = std::numeric_limits<double>::infinity();
+      for (std::size_t p = 0; p < pcus_.size(); ++p) {
+        if (!capable(p)) continue;
+        const double start = std::max(arrival, free_at[p]);
+        const double completion = start + service_time(p, start);
+        if (completion < best_completion) {
+          best_completion = completion;
+          best = p;
+        }
+      }
+      return best; // the capable set is never empty: the minimum is attained
+    };
+
+    double now = 0.0;
+    double next = 0.0;
+    InferenceRequest request;
+    while (queue.next_arrival(next)) {
+      now = std::max(now, next);
+      while (queue.pop_arrived(now, request)) {
+        const std::size_t p = pick_pcu(request.arrival_time);
+        const double start = std::max(request.arrival_time, free_at[p]);
+        dispatch({request.id, request.arrival_time, request.tenant,
+                  request.priority, request.deadline},
+                 p, start);
+      }
     }
-    // kLeastLoaded / kCapabilityAware: earliest predicted completion, the
-    // latter restricted to PCUs that map the network with the fleet-minimum
-    // number of segmented bank passes (no extra splits).
-    std::size_t best = pcus_.size();
-    double best_completion = std::numeric_limits<double>::infinity();
+    result.autoscaler.mean_active = static_cast<double>(pcus_.size());
+    return result;
+  }
+
+  // Event-driven mode: arrived requests wait in `pending` and every
+  // commitment is deferred to the moment an eligible PCU actually frees.
+  // Necessary because (a) EDF lets a later tighter-deadline arrival
+  // overtake queued work, (b) shedding is decided from the fleet state at
+  // the would-start moment, and (c) the autoscaler changes the eligible
+  // set over time. Events are arrivals and PCU-free instants; the clock
+  // only moves forward, so the schedule stays deterministic.
+  std::set<PendingRequest, UrgencyOrder> pending(
+      UrgencyOrder{policy == DispatchPolicy::kEdf});
+
+  double now = 0.0;
+  double last_event = 0.0;
+  double active_integral = 0.0; // ∫ active_count dt for mean_active
+  const auto advance_to = [&](double t) {
+    if (t > last_event) {
+      active_integral +=
+          static_cast<double>(active_count) * (t - last_event);
+      last_event = t;
+    }
+    now = std::max(now, t);
+  };
+
+  // Shrink: deactivate PCUs idle at least shrink_after_idle, highest
+  // index first, never below min_active. A busy PCU (free_at > now) has
+  // negative idle time and is never touched.
+  const auto shrink_idle = [&] {
+    if (scaler.shrink_after_idle <= 0.0) return;
+    for (std::size_t i = pcus_.size(); i-- > 0 && active_count > min_active;) {
+      if (!active[i]) continue;
+      const double idle_from = std::max(free_at[i], activated_at[i]);
+      if (now - idle_from >= scaler.shrink_after_idle) {
+        active[i] = 0;
+        active_count -= 1;
+        result.autoscaler.scale_downs += 1;
+      }
+    }
+  };
+
+  // Grow: activate the lowest-indexed inactive PCU while the pending
+  // backlog exceeds the per-PCU budget. Activation forces a cold start:
+  // the pipeline of a parked PCU has drained no matter its WarmupPolicy.
+  const auto grow_on_backlog = [&] {
+    while (active_count < max_active &&
+           static_cast<double>(pending.size()) >
+               scaler.backlog_per_pcu * static_cast<double>(active_count)) {
+      std::size_t p = 0;
+      while (active[p]) ++p;
+      active[p] = 1;
+      force_cold[p] = 1;
+      activated_at[p] = now;
+      active_count += 1;
+      result.autoscaler.scale_ups += 1;
+    }
+  };
+
+  InferenceRequest request;
+  while (true) {
+    // Admit everything that has arrived by `now` into the pending set.
+    while (queue.pop_arrived(now, request))
+      pending.insert({request.id, request.arrival_time, request.tenant,
+                      request.priority, request.deadline});
+
+    if (pending.empty()) {
+      double next = 0.0;
+      if (!queue.next_arrival(next)) break; // drained: done
+      advance_to(next);
+      continue;
+    }
+
+    if (scaler.enabled) {
+      shrink_idle();
+      grow_on_backlog();
+    }
+
+    // The next dispatch opportunity: the earliest instant an eligible
+    // (active and capable) PCU is free.
+    double free_time = std::numeric_limits<double>::infinity();
     for (std::size_t p = 0; p < pcus_.size(); ++p) {
-      if (policy == DispatchPolicy::kCapabilityAware &&
-          pcus_[p].channel_split_passes() != min_split_passes_)
-        continue;
-      const double start = std::max(arrival, free_at[p]);
-      const double completion = start + service_time(p, start);
-      if (completion < best_completion) {
-        best_completion = completion;
+      if (!active[p] || !capable(p)) continue;
+      free_time = std::min(free_time, std::max(now, free_at[p]));
+    }
+    PCNNA_CHECK_MSG(std::isfinite(free_time),
+                    "no active capable PCU to dispatch to — autoscaler "
+                    "min_active excludes every capable PCU");
+
+    // If another request arrives before (or exactly when) a PCU frees,
+    // admit it first: under EDF it may be more urgent than anything
+    // already pending.
+    double next = 0.0;
+    if (queue.next_arrival(next) && next <= free_time) {
+      advance_to(next);
+      continue;
+    }
+    advance_to(free_time);
+
+    // Dispatch the most urgent pending request to the best free PCU:
+    // kEarliestFree keeps its longest-free-wins score; the others take
+    // the earliest predicted completion.
+    const PendingRequest r = *pending.begin();
+    pending.erase(pending.begin());
+    std::size_t best = pcus_.size();
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < pcus_.size(); ++p) {
+      if (!active[p] || !capable(p) || free_at[p] > now) continue;
+      const double score = policy == DispatchPolicy::kEarliestFree
+                               ? free_at[p]
+                               : now + service_time(p, now);
+      if (score < best_score) {
+        best_score = score;
         best = p;
       }
     }
-    return best; // the capable set is never empty: the minimum is attained
-  };
+    PCNNA_CHECK_MSG(best < pcus_.size(),
+                    "internal error: no free PCU at a free event");
 
-  double now = 0.0;
-  double next = 0.0;
-  InferenceRequest request;
-  while (queue.next_arrival(next)) {
-    // Advance the virtual clock to the next arrival, then admit everything
-    // that has arrived by then. Dispatching eagerly is exact for a FIFO
-    // stream: every policy scores candidates from the deterministic free
-    // times alone, not from when the decision is made.
-    now = std::max(now, next);
-    while (queue.pop_arrived(now, request)) {
-      const std::size_t p = pick_pcu(request.arrival_time);
-      const double start = std::max(request.arrival_time, free_at[p]);
-      const double warmup = warmup_charge(p, start);
-      const double service =
-          double_buffer ? pcus_[p].request_interval_overlapped() + warmup
-                        : pcus_[p].request_time_serial();
-      const double completion = start + service;
-      free_at[p] = completion;
-      served[p] += 1;
-      schedule.push_back(
-          {request.id, p, request.arrival_time, start, completion, warmup});
+    if (options.shed_expired &&
+        now + service_time(best, now) > r.deadline) {
+      // Predicted completion blows the SLO: reject now, at the moment the
+      // dispatch decision is made, instead of serving uselessly late.
+      result.shed.shed += 1;
+      result.shed.per_tenant[r.tenant] += 1;
+      result.shed.decisions.push_back(
+          {r.id, r.tenant, r.priority, r.arrival, r.deadline, now});
+      continue;
     }
+    dispatch(r, best, now);
   }
-  return schedule;
+
+  // Close the mean-active integral at the makespan (the last completion,
+  // or the last event when everything was shed).
+  double makespan = last_event;
+  for (const ScheduledService& s : result.schedule)
+    makespan = std::max(makespan, s.completion);
+  advance_to(makespan);
+  result.autoscaler.mean_active =
+      makespan > 0.0 ? active_integral / makespan
+                     : static_cast<double>(active_count);
+  return result;
+}
+
+std::vector<ScheduledService> PcuPool::simulate_admission(
+    RequestQueue& queue, bool double_buffer, DispatchPolicy policy) {
+  AdmissionOptions options;
+  options.double_buffer = double_buffer;
+  options.policy = policy;
+  return simulate_admission(queue, options).schedule;
 }
 
 } // namespace pcnna::runtime

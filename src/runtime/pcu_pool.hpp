@@ -31,6 +31,8 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -78,6 +80,15 @@ enum class DispatchPolicy {
   /// need extra splits — and therefore extra passes, ADC samples, and
   /// time — are skipped entirely.
   kCapabilityAware,
+  /// Class-partitioned earliest-deadline-first: among every request that
+  /// has *arrived but not yet started*, dispatch the most urgent one —
+  /// strictly by PriorityClass, then by earliest absolute deadline, then
+  /// by arrival and id — to the free PCU with the earliest predicted
+  /// completion, as soon as one is free. Unlike the FIFO policies above, a
+  /// later arrival with a tighter deadline overtakes queued work, so
+  /// dispatch commitments are deferred to the moment a PCU actually frees
+  /// (the event-driven admission mode; see simulate_admission).
+  kEdf,
 };
 
 const char* dispatch_policy_name(DispatchPolicy policy);
@@ -85,7 +96,7 @@ const char* dispatch_policy_name(DispatchPolicy policy);
 /// All built-in policies, in enum order (for sweeps over policies).
 inline constexpr DispatchPolicy kAllDispatchPolicies[] = {
     DispatchPolicy::kEarliestFree, DispatchPolicy::kLeastLoaded,
-    DispatchPolicy::kCapabilityAware};
+    DispatchPolicy::kCapabilityAware, DispatchPolicy::kEdf};
 
 /// One request's place in the deterministic virtual-time schedule.
 /// All times are simulated seconds; queueing delay is start - arrival,
@@ -99,6 +110,90 @@ struct ScheduledService {
   /// Pipeline-fill warmup charged inside [start, completion] [s]; 0 on the
   /// serial (non-double-buffered) schedule and within warm streaks.
   double warmup = 0.0;
+  // Serving metadata carried through from the InferenceRequest so reports
+  // can break the schedule down per tenant / priority / SLO.
+  std::uint32_t tenant = 0;
+  PriorityClass priority = PriorityClass::kStandard;
+  double deadline = std::numeric_limits<double>::infinity(); ///< [s]
+};
+
+/// Elastic fleet sizing for the admission loop. When enabled, dispatch
+/// sees only the *active* subset of the pool: the loop grows the set
+/// (lowest inactive index first) when the pending backlog exceeds
+/// backlog_per_pcu requests per active PCU, and shrinks it (highest
+/// active index first, never below min_active) when a PCU has sat idle
+/// for shrink_after_idle simulated seconds. A (re)activated PCU is forced
+/// cold: its next request pays the pipeline-fill warmup regardless of its
+/// WarmupPolicy — the cold-start cost the autoscaler has to reason about.
+/// Enabling the autoscaler routes admission through the event-driven mode
+/// (see simulate_admission).
+struct AutoscalerPolicy {
+  bool enabled = false;
+  /// Lower bound on the active set; the initial active set is the
+  /// min_active lowest-indexed PCUs. Must be >= 1 and <= max_active.
+  std::size_t min_active = 1;
+  /// Upper bound on the active set; 0 means the whole pool.
+  std::size_t max_active = 0;
+  /// Scale up when pending requests > backlog_per_pcu * active count.
+  double backlog_per_pcu = 2.0;
+  /// Deactivate a PCU idle at least this long [s]; <= 0 disables
+  /// shrinking. Idleness is evaluated at admission events, so an idle PCU
+  /// is deactivated at the first event past the threshold.
+  double shrink_after_idle = 0.0;
+};
+
+/// Everything that shapes one admission-loop run (the long form of
+/// simulate_admission; the (double_buffer, policy) overload is the
+/// backward-compatible shorthand).
+struct AdmissionOptions {
+  /// Price service as the double-buffered steady-state interval plus
+  /// warmup (true) or the serial request time (false).
+  bool double_buffer = true;
+  DispatchPolicy policy = DispatchPolicy::kEarliestFree;
+  /// Load shedding: reject a request at the moment it would be dispatched
+  /// if the predicted completion of that dispatch would exceed the
+  /// request's deadline, instead of serving it late. Shed requests occupy
+  /// no PCU time and are reported in AdmissionResult::shed. Requests
+  /// without a deadline (+inf) are never shed. Forces the event-driven
+  /// admission mode.
+  bool shed_expired = false;
+  AutoscalerPolicy autoscaler;
+};
+
+/// One load-shedding decision: the request that was rejected and when.
+struct ShedDecision {
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;
+  PriorityClass priority = PriorityClass::kStandard;
+  double arrival = 0.0;       ///< [s]
+  double deadline = 0.0;      ///< the SLO it would have missed [s]
+  double decision_time = 0.0; ///< virtual time the shed was decided [s]
+};
+
+/// Load-shedding outcome of one admission run.
+struct ShedReport {
+  std::size_t shed = 0; ///< total rejected requests
+  /// Rejections per tenant id (only tenants with at least one shed).
+  std::map<std::uint32_t, std::size_t> per_tenant;
+  /// Every decision, in shed order.
+  std::vector<ShedDecision> decisions;
+};
+
+/// Elastic-sizing outcome of one admission run.
+struct AutoscalerStats {
+  std::size_t scale_ups = 0;   ///< PCU activations (cold starts charged)
+  std::size_t scale_downs = 0; ///< PCU deactivations
+  /// Time-averaged active-set size over [0, makespan]; the full pool size
+  /// when the autoscaler is disabled.
+  double mean_active = 0.0;
+};
+
+/// Full result of one admission-loop run: the deterministic virtual-time
+/// schedule of the *served* requests plus shedding and sizing outcomes.
+struct AdmissionResult {
+  std::vector<ScheduledService> schedule;
+  ShedReport shed;
+  AutoscalerStats autoscaler;
 };
 
 class PcuPool {
@@ -149,9 +244,11 @@ class PcuPool {
   /// assignment list in schedule order). Deterministic even on a
   /// heterogeneous pool: the schedule is deterministic, so the same PCU —
   /// hence the same device model — produces each output every run.
-  /// `schedule` must reference each request id in [0, requests.size())
-  /// exactly once. Results come back ordered by request id. Rethrows the
-  /// first worker exception after all threads join.
+  /// `schedule` must reference request ids in [0, requests.size()), each
+  /// at most once; ids absent from the schedule (load-shed requests) come
+  /// back as empty placeholder results carrying only their id. Results
+  /// come back ordered by request id. Rethrows the first worker exception
+  /// after all threads join.
   std::vector<RequestResult> serve_scheduled(
       std::vector<InferenceRequest> requests,
       const std::vector<ScheduledService>& schedule, bool simulate_values);
@@ -174,10 +271,31 @@ class PcuPool {
   ///    layer pays its own recalibration inline).
   ///
   /// Preconditions: `queue` is closed and holds requests in nondecreasing
-  /// arrival_time order. The queue is drained. Single-threaded and
-  /// deterministic: identical inputs and policy yield a bitwise-identical
-  /// schedule. Returns one entry per request in admission (= arrival)
-  /// order.
+  /// arrival_time order (push() enforces this). The queue is drained.
+  /// Single-threaded and deterministic: identical inputs and options yield
+  /// a bitwise-identical schedule.
+  ///
+  /// Two internal modes, selected automatically:
+  ///
+  ///  * Eager (FIFO policies, no shedding, no autoscaler): each request is
+  ///    dispatched the moment it is admitted. Exact because FIFO dispatch
+  ///    scores depend only on deterministic per-PCU free times — a later
+  ///    arrival can never change an earlier commitment. This is the
+  ///    pre-SLO code path, kept bit-identical.
+  ///  * Event-driven (kEdf, shed_expired, or autoscaler.enabled): arrived
+  ///    requests wait in a pending set and commitments are deferred to the
+  ///    moment a PCU frees, because EDF lets a later tighter-deadline
+  ///    arrival overtake, shedding is decided at the would-start moment,
+  ///    and the active PCU set itself varies over time.
+  ///
+  /// Returns the schedule of *served* requests in dispatch order plus the
+  /// shed and autoscaler outcomes; without shedding the schedule covers
+  /// every request.
+  AdmissionResult simulate_admission(RequestQueue& queue,
+                                     const AdmissionOptions& options);
+
+  /// Shorthand for the pre-SLO call sites: no shedding, no autoscaler.
+  /// Returns just the schedule — one entry per request.
   std::vector<ScheduledService> simulate_admission(
       RequestQueue& queue, bool double_buffer,
       DispatchPolicy policy = DispatchPolicy::kEarliestFree);

@@ -15,10 +15,27 @@ std::uint64_t derive_request_seed(std::uint64_t base_seed,
   return z ^ (z >> 31);
 }
 
+const char* priority_class_name(PriorityClass priority) {
+  switch (priority) {
+    case PriorityClass::kInteractive: return "interactive";
+    case PriorityClass::kStandard: return "standard";
+    case PriorityClass::kBestEffort: return "best-effort";
+  }
+  throw Error("invalid PriorityClass");
+}
+
 void RequestQueue::push(InferenceRequest request) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     PCNNA_CHECK_MSG(!closed_, "push() on a closed RequestQueue");
+    PCNNA_CHECK_MSG(
+        request.arrival_time >= last_arrival_,
+        "out-of-order push: request " << request.id << " arrives at t="
+            << request.arrival_time << " but a request arriving at t="
+            << last_arrival_
+            << " was already pushed — virtual-time admission needs "
+               "nondecreasing arrival_time (sort the trace)");
+    last_arrival_ = request.arrival_time;
     queue_.push_back(std::move(request));
   }
   cv_.notify_one();

@@ -31,14 +31,30 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <mutex>
+#include <vector>
 
 #include "nn/tensor.hpp"
 
 namespace pcnna::runtime {
 
+/// Priority class of a request, the strict precedence tier of the
+/// SLO-aware admission order (DispatchPolicy::kEdf dispatches classes in
+/// this order, earliest deadline first within a class). Lower values are
+/// more urgent.
+enum class PriorityClass : std::uint8_t {
+  kInteractive = 0, ///< user-facing traffic with a tight completion SLO
+  kStandard = 1,    ///< default tier
+  kBestEffort = 2,  ///< throughput traffic; first to wait and to shed
+};
+
+const char* priority_class_name(PriorityClass priority);
+
 /// One inference request: an input feature map plus the identity and RNG
-/// seed that make its simulation order-independent.
+/// seed that make its simulation order-independent, and the serving
+/// metadata (tenant, priority class, deadline) the SLO-aware admission
+/// loop schedules and sheds by.
 struct InferenceRequest {
   /// Dense id in [0, batch); doubles as the slot index for its result.
   std::uint64_t id = 0;
@@ -48,8 +64,30 @@ struct InferenceRequest {
   /// requests present at t = 0); set from an ArrivalSchedule for open-loop
   /// serving. Affects only the virtual-time schedule, never the output.
   double arrival_time = 0.0;
+  /// Owning tenant; reports aggregate SLO attainment and shed counts per
+  /// tenant. Never interpreted beyond grouping.
+  std::uint32_t tenant = 0;
+  /// Priority tier for the SLO-aware admission order.
+  PriorityClass priority = PriorityClass::kStandard;
+  /// Absolute completion deadline [s]; +inf means no SLO. Consumed by the
+  /// EDF admission order and by load shedding (a request whose predicted
+  /// completion exceeds this is rejected). Never affects the output.
+  double deadline = std::numeric_limits<double>::infinity();
   nn::Tensor input;
 };
+
+/// Per-request serving metadata aligned with an ArrivalSchedule: element i
+/// names the tenant, priority class, and absolute deadline of request i
+/// (runtime::assign_tenants generates one from a TenantClass mix).
+struct RequestSlo {
+  std::uint32_t tenant = 0;
+  PriorityClass priority = PriorityClass::kStandard;
+  /// Absolute completion deadline [s]; +inf = no SLO.
+  double deadline = std::numeric_limits<double>::infinity();
+};
+
+/// One RequestSlo per request, index-aligned with the ArrivalSchedule.
+using SloSchedule = std::vector<RequestSlo>;
 
 /// Per-request seed derived from the runner's base seed by a SplitMix64
 /// mixing step: decorrelated across ids, reproducible from (base, id) alone,
@@ -64,7 +102,11 @@ class RequestQueue {
   RequestQueue(const RequestQueue&) = delete;
   RequestQueue& operator=(const RequestQueue&) = delete;
 
-  /// Enqueue one request. Throws pcnna::Error if the queue is closed.
+  /// Enqueue one request. Throws pcnna::Error if the queue is closed, or
+  /// if the request's arrival_time precedes that of an earlier push: the
+  /// virtual-time interface below peeks the *front* of the FIFO as the
+  /// earliest pending arrival, so an out-of-order push (e.g. an unsorted
+  /// trace file) would silently corrupt virtual-time admission.
   void push(InferenceRequest request);
 
   /// Block until a request is available or the queue is closed and drained.
@@ -76,8 +118,8 @@ class RequestQueue {
 
   // --- Virtual-time interface (open-loop admission loop) ---
   //
-  // Preconditions: requests were pushed in nondecreasing arrival_time order
-  // (so FIFO order == arrival order). Both calls are non-blocking.
+  // Requests are guaranteed to sit in nondecreasing arrival_time order
+  // (push() rejects out-of-order arrivals). Both calls are non-blocking.
 
   /// Pop the front request only if it has arrived by simulated time
   /// `virtual_now` [s]. Returns false when the queue is empty or the front
@@ -99,6 +141,9 @@ class RequestQueue {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<InferenceRequest> queue_;
+  /// Largest arrival_time pushed so far (persists across pops), enforcing
+  /// the nondecreasing-push precondition of the virtual-time interface.
+  double last_arrival_ = 0.0;
   bool closed_ = false;
 };
 

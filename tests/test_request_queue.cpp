@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -136,6 +137,74 @@ TEST(RequestQueue, PopArrivedHonorsVirtualTime) {
   EXPECT_EQ(2u, out.id);
   EXPECT_FALSE(q.next_arrival(when)) << "drained queue has no next arrival";
   EXPECT_FALSE(q.pop_arrived(1.0, out));
+}
+
+TEST(RequestQueue, RejectsOutOfOrderArrivals) {
+  // The virtual-time interface peeks the FIFO front as the earliest
+  // pending arrival, so an unsorted trace must be rejected at push() —
+  // not silently corrupt admission.
+  RequestQueue q;
+  InferenceRequest r = make_request(0);
+  r.arrival_time = 2e-3;
+  q.push(std::move(r));
+
+  InferenceRequest late = make_request(1);
+  late.arrival_time = 1e-3; // earlier than the request already pushed
+  EXPECT_THROW(q.push(std::move(late)), Error);
+
+  // Equal timestamps are fine (nondecreasing, not strictly increasing).
+  InferenceRequest tie = make_request(2);
+  tie.arrival_time = 2e-3;
+  EXPECT_NO_THROW(q.push(std::move(tie)));
+}
+
+TEST(RequestQueue, ShuffledTraceIsRejectedNotReordered) {
+  // Regression: replaying a shuffled trace used to slip through and feed
+  // the admission loop out-of-order timestamps.
+  const std::vector<double> shuffled = {0.0, 3e-3, 1e-3, 2e-3};
+  RequestQueue q;
+  std::uint64_t id = 0;
+  bool threw = false;
+  try {
+    for (double t : shuffled) {
+      InferenceRequest r = make_request(id++);
+      r.arrival_time = t;
+      q.push(std::move(r));
+    }
+  } catch (const Error& e) {
+    threw = true;
+    EXPECT_NE(std::string::npos, std::string(e.what()).find("out-of-order"));
+  }
+  EXPECT_TRUE(threw);
+  // The queue keeps only the prefix pushed before the violation.
+  EXPECT_EQ(2u, q.size());
+}
+
+TEST(RequestQueue, OrderingPersistsAcrossPops) {
+  // last-arrival tracking must survive the queue being drained: a push
+  // that precedes an already-*popped* arrival is still out of order.
+  RequestQueue q;
+  InferenceRequest r = make_request(0);
+  r.arrival_time = 5e-3;
+  q.push(std::move(r));
+  InferenceRequest out;
+  ASSERT_TRUE(q.try_pop(out));
+
+  InferenceRequest late = make_request(1);
+  late.arrival_time = 1e-3;
+  EXPECT_THROW(q.push(std::move(late)), Error);
+}
+
+TEST(PriorityClass, NamesAreExhaustive) {
+  using runtime::PriorityClass;
+  EXPECT_STREQ("interactive",
+               runtime::priority_class_name(PriorityClass::kInteractive));
+  EXPECT_STREQ("standard",
+               runtime::priority_class_name(PriorityClass::kStandard));
+  EXPECT_STREQ("best-effort",
+               runtime::priority_class_name(PriorityClass::kBestEffort));
+  EXPECT_THROW(runtime::priority_class_name(static_cast<PriorityClass>(99)),
+               Error);
 }
 
 TEST(RequestSeed, DeterministicAndDecorrelated) {
