@@ -20,6 +20,15 @@
 // probe enables the autoscaler and checks the mean active fleet tracks
 // offered load.
 //
+// A fourth sweep serves three registered models (LeNet-5, AlexNet, and a
+// recalibration-heavy synthetic net) on one fleet, with a seeded
+// work-balanced model mix at 1.5x overload. Model switches charge the
+// weight-bank swap (the full serial reprogram), and on these models the
+// swap rivals the steady-state interval — so model-blind least-loaded
+// dispatch thrashes the banks while kModelAffinity parks each model on
+// home PCUs. The self-check gates affinity throughput at >= 1.3x
+// least-loaded at equal SLO attainment.
+//
 // The sweeps themselves are timing-only (BatchRunner::simulate_open_loop):
 // the admission loop needs no functional inference, so each point can use
 // thousands of requests. Three self-checks gate the exit code:
@@ -290,6 +299,138 @@ int main() {
     json.row("slo", "interactive_budget", interactive_budget, "s");
   }
 
+  // --- Multi-model sweep: three registered models on one 6-PCU fleet at
+  // 1.5x overload. The mix is work-balanced (each model offers ~1/3 of the
+  // total service time), so affinity can partition the fleet into per-model
+  // homes; model-blind policies keep reprogramming banks instead.
+  {
+    constexpr std::size_t kMmPcus = 6;
+    constexpr std::size_t kMmRequests = 4000;
+
+    // Synthetic recalibration-heavy net: small feature maps (few kernel
+    // locations, little ADC/DAC work) with many channels (a big weight
+    // bank), so weight programming dominates — the regime where the swap
+    // cost rivals the steady-state interval.
+    nn::Network synth("synth_recal", nn::Shape4{1, 64, 8, 8});
+    synth
+        .add_conv({"s1", /*n=*/8, /*m=*/3, /*p=*/1, /*s=*/1, /*nc=*/64,
+                   /*K=*/64})
+        .add_relu();
+    synth
+        .add_conv({"s2", /*n=*/8, /*m=*/3, /*p=*/1, /*s=*/1, /*nc=*/64,
+                   /*K=*/64})
+        .add_relu();
+    synth.add_conv({"s3", /*n=*/8, /*m=*/3, /*p=*/1, /*s=*/1, /*nc=*/64,
+                    /*K=*/64});
+    Rng mm_rng(404);
+    const nn::NetWeights synth_weights =
+        nn::make_network_weights(synth, mm_rng);
+    const nn::Network big = nn::alexnet();
+    const nn::NetWeights big_weights = nn::make_network_weights(big, mm_rng);
+
+    benchutil::DualSink msink({"policy", "achieved", "p99", "swaps",
+                               "swap time", "SLO"},
+                              "pcnna_open_loop_multimodel.csv");
+
+    double ll_rps = 0.0, affinity_rps = 0.0;
+    double ll_slo = 0.0, affinity_slo = 0.0;
+    std::size_t ll_swaps = 0, affinity_swaps = 0;
+    double swap_over_interval = 0.0;
+    for (const runtime::DispatchPolicy policy :
+         {runtime::DispatchPolicy::kEarliestFree,
+          runtime::DispatchPolicy::kLeastLoaded,
+          runtime::DispatchPolicy::kModelAffinity}) {
+      runtime::BatchRunnerOptions mopts = options;
+      mopts.num_pcus = kMmPcus;
+      mopts.dispatch = policy;
+      runtime::BatchRunner mm(config, net, weights, mopts);
+      mm.register_model(big, big_weights);
+      mm.register_model(synth, synth_weights);
+
+      // Work-balanced mix: p_m proportional to 1/interval_m, so each model
+      // contributes ~1/3 of the offered service time. Offered rate is
+      // 1.5x the fleet's work capacity for that mix.
+      double intervals[3], inv_sum = 0.0;
+      for (std::uint32_t m = 0; m < 3; ++m) {
+        intervals[m] = mm.pool().pcu(0).request_interval_overlapped(m);
+        inv_sum += 1.0 / intervals[m];
+      }
+      if (swap_over_interval == 0.0) {
+        swap_over_interval =
+            mm.pool().pcu(0).swap_time(2) / intervals[2];
+      }
+      const double mean_service =
+          3.0 / inv_sum; // sum_m p_m * interval_m with p_m ~ 1/interval_m
+      const double offered =
+          1.5 * static_cast<double>(kMmPcus) / mean_service;
+
+      const runtime::ArrivalSchedule arrivals = runtime::poisson_arrivals(
+          kMmRequests, offered, kArrivalSeed + 400);
+      runtime::ModelSchedule models(kMmRequests, 0);
+      Rng pick(kArrivalSeed + 500);
+      for (std::size_t id = 0; id < kMmRequests; ++id) {
+        const double u = pick.uniform() * inv_sum;
+        models[id] = u < 1.0 / intervals[0]
+                         ? 0u
+                         : (u < 1.0 / intervals[0] + 1.0 / intervals[1]
+                                ? 1u
+                                : 2u);
+      }
+
+      const runtime::OpenLoopReport r =
+          mm.simulate_open_loop(arrivals, {}, models);
+      if (policy == runtime::DispatchPolicy::kLeastLoaded) {
+        ll_rps = r.achieved_rps;
+        ll_slo = r.slo_attainment;
+        ll_swaps = r.model_swaps;
+      }
+      if (policy == runtime::DispatchPolicy::kModelAffinity) {
+        affinity_rps = r.achieved_rps;
+        affinity_slo = r.slo_attainment;
+        affinity_swaps = r.model_swaps;
+      }
+
+      msink.row({runtime::dispatch_policy_name(policy),
+                 format_count(r.achieved_rps) + " req/s",
+                 format_time(r.latency.p99),
+                 std::to_string(r.model_swaps),
+                 format_time(r.model_swap_time),
+                 format_fixed(100.0 * r.slo_attainment, 1) + " %"});
+
+      const std::string point =
+          std::string("multimodel_") + runtime::dispatch_policy_name(policy);
+      json.row(point, "achieved_rps", r.achieved_rps, "req/s");
+      json.row(point, "latency_p99", r.latency.p99, "s");
+      json.row(point, "model_swaps", static_cast<double>(r.model_swaps),
+               "swaps");
+      json.row(point, "model_swap_time", r.model_swap_time, "s");
+      json.row(point, "slo_attainment", r.slo_attainment, "fraction");
+    }
+    msink.print("Multi-model serving (LeNet-5 + AlexNet + synth_recal, " +
+                std::to_string(kMmPcus) + " PCUs, work-balanced mix at "
+                "1.5x overload; synth swap/interval " +
+                format_fixed(swap_over_interval, 2) + ")");
+    json.row("multimodel", "affinity_speedup_vs_least_loaded",
+             ll_rps > 0.0 ? affinity_rps / ll_rps : 0.0, "x");
+    json.row("multimodel", "synth_swap_over_interval", swap_over_interval,
+             "fraction");
+
+    if (!(affinity_rps >= 1.3 * ll_rps && affinity_slo == ll_slo)) {
+      std::cout << "FAIL: model-affinity throughput ("
+                << format_count(affinity_rps)
+                << " req/s) is not >= 1.3x least-loaded ("
+                << format_count(ll_rps) << " req/s) at equal SLO attainment ("
+                << affinity_slo << " vs " << ll_slo << ")\n";
+      ok = false;
+    }
+    if (!(affinity_swaps * 10 < ll_swaps)) {
+      std::cout << "FAIL: model-affinity swaps (" << affinity_swaps
+                << ") are not an order of magnitude below least-loaded ("
+                << ll_swaps << ")\n";
+      ok = false;
+    }
+  }
+
   // --- Autoscaler probe: the same fleet with elastic sizing enabled must
   // run lean at light load and grow toward the envelope under heavy load.
   {
@@ -374,6 +515,7 @@ int main() {
 
   std::cout << "\nself-checks: " << (ok ? "PASS" : "FAIL")
             << " (determinism, hockey stick, mixed-fleet ordering, "
-               "SLO overload split, autoscaler sizing, bit-identity)\n";
+               "SLO overload split, multi-model affinity speedup, "
+               "autoscaler sizing, bit-identity)\n";
   return ok ? 0 : 1;
 }

@@ -46,6 +46,10 @@ struct LayerTiming {
 
   /// Which constraint dominates full_system_time.
   std::string bottleneck;
+
+  /// Memberwise equality (doubles compared exactly); the planner tests use
+  /// it to check cached strategies are bit-identical to fresh ones.
+  friend bool operator==(const LayerTiming&, const LayerTiming&) = default;
 };
 
 /// Totals across a conv stack.

@@ -51,7 +51,7 @@ BatchRunner::BatchRunner(std::vector<PcuSpec> specs, nn::Network net,
 
 std::vector<InferenceRequest> BatchRunner::make_requests(
     const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
-    const SloSchedule& slos) const {
+    const SloSchedule& slos, const ModelSchedule& models) const {
   std::vector<InferenceRequest> requests;
   requests.reserve(inputs.size());
   for (std::size_t id = 0; id < inputs.size(); ++id) {
@@ -64,10 +64,18 @@ std::vector<InferenceRequest> BatchRunner::make_requests(
       request.priority = slos[id].priority;
       request.deadline = slos[id].deadline;
     }
+    if (!models.empty()) request.model_id = models[id];
     request.input = inputs[id];
     requests.push_back(std::move(request));
   }
   return requests;
+}
+
+std::uint32_t BatchRunner::register_model(nn::Network net,
+                                          nn::NetWeights weights) {
+  extra_models_.emplace_back(std::move(net), std::move(weights));
+  auto& [stored_net, stored_weights] = extra_models_.back();
+  return pool_.register_model(stored_net, stored_weights);
 }
 
 std::vector<RequestResult> BatchRunner::serve(
@@ -99,12 +107,12 @@ std::vector<RequestResult> BatchRunner::run(
   // report skips it (dynamic sharding needs no assignment).
   std::vector<ScheduledService> schedule;
   if (!pool_.homogeneous() || report || options_.shed_expired)
-    schedule =
-        simulate_admission_result(closed_batch_arrivals(batch), {}).schedule;
+    schedule = simulate_admission_result(closed_batch_arrivals(batch), {}, {})
+                   .schedule;
 
   const auto wall_start = std::chrono::steady_clock::now();
-  std::vector<RequestResult> results =
-      serve(make_requests(inputs, {}, {}), schedule, options_.simulate_values);
+  std::vector<RequestResult> results = serve(
+      make_requests(inputs, {}, {}, {}), schedule, options_.simulate_values);
   const auto wall_end = std::chrono::steady_clock::now();
 
   if (report) {
@@ -163,6 +171,13 @@ std::vector<RequestResult> BatchRunner::run_open_loop(
 std::vector<RequestResult> BatchRunner::run_open_loop(
     const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
     const SloSchedule& slos, OpenLoopReport* report) {
+  return run_open_loop(inputs, arrivals, slos, ModelSchedule{}, report);
+}
+
+std::vector<RequestResult> BatchRunner::run_open_loop(
+    const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
+    const SloSchedule& slos, const ModelSchedule& models,
+    OpenLoopReport* report) {
   PCNNA_CHECK_MSG(arrivals.size() == inputs.size(),
                   "open loop needs one arrival per input: "
                       << arrivals.size() << " arrivals for " << inputs.size()
@@ -170,6 +185,9 @@ std::vector<RequestResult> BatchRunner::run_open_loop(
   PCNNA_CHECK_MSG(slos.empty() || slos.size() == arrivals.size(),
                   "SLO schedule covers " << slos.size() << " requests but "
                                          << arrivals.size() << " arrive");
+  PCNNA_CHECK_MSG(models.empty() || models.size() == arrivals.size(),
+                  "model schedule covers " << models.size() << " requests but "
+                                           << arrivals.size() << " arrive");
   validate_arrival_schedule(arrivals);
 
   // On a homogeneous fleet physical serving is identical to the closed
@@ -180,12 +198,12 @@ std::vector<RequestResult> BatchRunner::run_open_loop(
   // shedding the schedule is always needed: it decides which requests run.
   AdmissionResult admission;
   if (!pool_.homogeneous() || report || options_.shed_expired)
-    admission = simulate_admission_result(arrivals, slos);
+    admission = simulate_admission_result(arrivals, slos, models);
 
   const std::size_t batch = inputs.size();
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<RequestResult> results =
-      serve(make_requests(inputs, arrivals, slos), admission.schedule,
+      serve(make_requests(inputs, arrivals, slos, models), admission.schedule,
             options_.simulate_values);
   const auto wall_end = std::chrono::steady_clock::now();
   for (const ShedDecision& d : admission.shed.decisions)
@@ -204,22 +222,32 @@ std::vector<RequestResult> BatchRunner::run_open_loop(
 }
 
 OpenLoopReport BatchRunner::simulate_open_loop(const ArrivalSchedule& arrivals) {
-  return simulate_open_loop(arrivals, SloSchedule{});
+  return simulate_open_loop(arrivals, SloSchedule{}, ModelSchedule{});
 }
 
 OpenLoopReport BatchRunner::simulate_open_loop(const ArrivalSchedule& arrivals,
                                                const SloSchedule& slos) {
+  return simulate_open_loop(arrivals, slos, ModelSchedule{});
+}
+
+OpenLoopReport BatchRunner::simulate_open_loop(const ArrivalSchedule& arrivals,
+                                               const SloSchedule& slos,
+                                               const ModelSchedule& models) {
   PCNNA_CHECK_MSG(slos.empty() || slos.size() == arrivals.size(),
                   "SLO schedule covers " << slos.size() << " requests but "
                                          << arrivals.size() << " arrive");
+  PCNNA_CHECK_MSG(models.empty() || models.size() == arrivals.size(),
+                  "model schedule covers " << models.size() << " requests but "
+                                           << arrivals.size() << " arrive");
   validate_arrival_schedule(arrivals);
-  const AdmissionResult admission = simulate_admission_result(arrivals, slos);
+  const AdmissionResult admission =
+      simulate_admission_result(arrivals, slos, models);
   OpenLoopReport r = summarize_schedule(admission, arrivals);
   // Timing-only energy: the per-request analytical total of the PCU each
   // request was dispatched to, which the functional path reproduces
   // (values never change layer energy). Shed requests burn no energy.
   for (const ScheduledService& s : admission.schedule)
-    r.total_energy += pool_.pcu(s.pcu).request_energy();
+    r.total_energy += pool_.pcu(s.pcu).request_energy(s.model);
   r.energy_per_request = r.requests == 0
                              ? 0.0
                              : r.total_energy /
@@ -228,9 +256,10 @@ OpenLoopReport BatchRunner::simulate_open_loop(const ArrivalSchedule& arrivals,
 }
 
 AdmissionResult BatchRunner::simulate_admission_result(
-    const ArrivalSchedule& arrivals, const SloSchedule& slos) {
+    const ArrivalSchedule& arrivals, const SloSchedule& slos,
+    const ModelSchedule& models) {
   // Lightweight replay stream: the admission loop needs only ids, arrival
-  // timestamps, and SLO metadata, so the tensors stay behind.
+  // timestamps, and SLO/model metadata, so the tensors stay behind.
   RequestQueue queue;
   for (std::size_t id = 0; id < arrivals.size(); ++id) {
     InferenceRequest request;
@@ -241,6 +270,7 @@ AdmissionResult BatchRunner::simulate_admission_result(
       request.priority = slos[id].priority;
       request.deadline = slos[id].deadline;
     }
+    if (!models.empty()) request.model_id = models[id];
     queue.push(std::move(request));
   }
   queue.close();
@@ -264,6 +294,8 @@ double BatchRunner::fill_breakdowns(
     b.requests += 1;
     b.busy_time += s.completion - s.start;
     b.warmup_time += s.warmup;
+    if (s.swapped) b.swaps += 1;
+    b.swap_time += s.swap;
     makespan = std::max(makespan, s.completion);
   }
   if (makespan > 0.0)
@@ -325,6 +357,8 @@ OpenLoopReport BatchRunner::summarize_schedule(
   for (std::size_t p = 0; p < r.pcus; ++p) {
     r.virtual_requests_per_pcu[p] = r.per_pcu[p].requests;
     r.utilization_per_pcu[p] = r.per_pcu[p].utilization;
+    r.model_swaps += r.per_pcu[p].swaps;
+    r.model_swap_time += r.per_pcu[p].swap_time;
   }
 
   if (r.makespan > 0.0) {
@@ -393,18 +427,20 @@ RequestResult BatchRunner::run_one(const nn::Tensor& input, std::uint64_t id) {
 
 namespace {
 
-/// Shared per-PCU schedule table: index, tag, requests, utilization, and
-/// time spent re-filling the double-buffer pipeline.
+/// Shared per-PCU schedule table: index, tag, requests, utilization, time
+/// spent re-filling the double-buffer pipeline, and weight-bank swaps paid
+/// to switch models.
 void print_breakdowns(const std::vector<PcuBreakdown>& per_pcu,
                       std::ostream& os) {
   TextTable pcus({"virtual PCU", "tag", "requests", "utilization",
-                  "warmup time"});
+                  "warmup time", "swaps", "swap time"});
   for (std::size_t p = 0; p < per_pcu.size(); ++p) {
     const PcuBreakdown& b = per_pcu[p];
     pcus.add_row({std::to_string(p), b.tag.empty() ? "-" : b.tag,
                   std::to_string(b.requests),
                   format_fixed(100.0 * b.utilization, 1) + " %",
-                  format_time(b.warmup_time)});
+                  format_time(b.warmup_time), std::to_string(b.swaps),
+                  format_time(b.swap_time)});
   }
   pcus.print(os, "per-PCU schedule");
 }
@@ -495,6 +531,11 @@ void BatchRunner::print_report(const OpenLoopReport& report, std::ostream& os,
                        format_fixed(100.0 * report.shed_rate, 1) + " %)"});
     table.add_row({"SLO attainment",
                    format_fixed(100.0 * report.slo_attainment, 2) + " %"});
+  }
+  if (report.model_swaps > 0) {
+    table.add_row({"model swaps",
+                   std::to_string(report.model_swaps) + " (" +
+                       format_time(report.model_swap_time) + ")"});
   }
   if (report.autoscaler.scale_ups > 0 || report.autoscaler.scale_downs > 0 ||
       (report.autoscaler.mean_active > 0.0 &&

@@ -44,8 +44,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/report.hpp"
@@ -111,6 +113,11 @@ struct PcuBreakdown {
   double warmup_time = 0.0;
   /// busy_time / makespan, in [0, 1]. 0 when the makespan is 0.
   double utilization = 0.0;
+  /// Weight-bank swaps this PCU paid: dispatches that reprogrammed it
+  /// from a different model (ScheduledService::swapped).
+  std::size_t swaps = 0;
+  /// Portion of busy_time spent on those swaps [s].
+  double swap_time = 0.0;
 };
 
 /// Fleet-level serving summary. All times are simulated hardware seconds
@@ -249,6 +256,14 @@ struct OpenLoopReport {
   /// Elastic-sizing outcome (mean_active == pcus when disabled).
   AutoscalerStats autoscaler;
 
+  // --- Multi-model serving (trivial on a single-model run) ---
+
+  /// Fleet-total weight-bank swaps: dispatches that reprogrammed a PCU
+  /// from a different model (sum of per_pcu[p].swaps).
+  std::size_t model_swaps = 0;
+  /// Fleet-total time spent on those swaps [s].
+  double model_swap_time = 0.0;
+
   /// Host seconds spent on the call (0 for simulate_open_loop, which does
   /// no functional work).
   double wall_seconds = 0.0;
@@ -279,6 +294,17 @@ class BatchRunner {
   const BatchRunnerOptions& options() const { return options_; }
   const nn::Network& network() const { return net_; }
   PcuPool& pool() { return pool_; }
+
+  /// Register another model the fleet can serve (copies are taken, like
+  /// the constructor's primary model). Returns the new model id — dense,
+  /// starting at 1; the constructor's model is id 0. Requests name their
+  /// target via a ModelSchedule on the open-loop entry points; a dispatch
+  /// that switches a PCU's programmed model charges a weight-bank swap
+  /// (DispatchPolicy::kModelAffinity routes to minimize exactly that).
+  std::uint32_t register_model(nn::Network net, nn::NetWeights weights);
+
+  /// Number of registered models (>= 1).
+  std::size_t num_models() const { return pool_.num_models(); }
 
   /// Serve `inputs` as requests 0..B-1 arriving all at once (closed batch —
   /// the degenerate all-at-t=0 arrival schedule).
@@ -316,6 +342,15 @@ class BatchRunner {
       const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
       const SloSchedule& slos, OpenLoopReport* report);
 
+  /// Multi-model open loop: request i additionally targets registered
+  /// model models[i] (an empty `models` means everything runs the primary
+  /// model; every id must be < num_models(), and each input must match
+  /// its model's input shape).
+  std::vector<RequestResult> run_open_loop(
+      const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
+      const SloSchedule& slos, const ModelSchedule& models,
+      OpenLoopReport* report);
+
   /// Timing-only open loop: simulate the admission schedule for `arrivals`
   /// and return its report without running any functional inference
   /// (energy is filled from the per-request analytical model of the PCU
@@ -327,6 +362,12 @@ class BatchRunner {
   /// run_open_loop for the `slos` contract).
   OpenLoopReport simulate_open_loop(const ArrivalSchedule& arrivals,
                                     const SloSchedule& slos);
+
+  /// Timing-only multi-model open loop (see the ModelSchedule overload of
+  /// run_open_loop for the `models` contract).
+  OpenLoopReport simulate_open_loop(const ArrivalSchedule& arrivals,
+                                    const SloSchedule& slos,
+                                    const ModelSchedule& models);
 
   /// Sequential single-PCU baseline: serves request `id` on PCU 0 with the
   /// same per-request seed run() would use — the bit-identity reference.
@@ -345,13 +386,14 @@ class BatchRunner {
   /// (no tensors, no functional work), under options_'s dispatch,
   /// shedding, and autoscaler settings.
   AdmissionResult simulate_admission_result(const ArrivalSchedule& arrivals,
-                                            const SloSchedule& slos);
+                                            const SloSchedule& slos,
+                                            const ModelSchedule& models);
 
   /// Build the dense request vector (ids, SplitMix64 seeds, arrivals, SLO
-  /// metadata, inputs) the serving paths share.
+  /// metadata, model targets, inputs) the serving paths share.
   std::vector<InferenceRequest> make_requests(
       const std::vector<nn::Tensor>& inputs, const ArrivalSchedule& arrivals,
-      const SloSchedule& slos) const;
+      const SloSchedule& slos, const ModelSchedule& models) const;
 
   /// Physically serve `requests`: dynamic sharding on a homogeneous pool,
   /// schedule-driven assignment otherwise — and always schedule-driven
@@ -372,6 +414,9 @@ class BatchRunner {
   nn::Network net_;
   nn::NetWeights weights_;
   BatchRunnerOptions options_;
+  /// Models registered after construction (ids 1+). A deque keeps every
+  /// element at a stable address — the pool's Pcus borrow references.
+  std::deque<std::pair<nn::Network, nn::NetWeights>> extra_models_;
   PcuPool pool_;
 };
 

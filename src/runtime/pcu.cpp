@@ -25,15 +25,24 @@ Pcu::Pcu(std::size_t index, const core::PcnnaConfig& config,
          core::TimingFidelity fidelity, const nn::Network& net,
          const nn::NetWeights& weights, WarmupPolicy warmup, std::string tag)
     : index_(index),
+      config_(config),
+      fidelity_(fidelity),
       accelerator_(config, fidelity),
-      net_(net),
-      weights_(weights),
       warmup_policy_(warmup),
       tag_(std::move(tag)) {
-  const std::vector<nn::ConvLayerParams> layers = net_.conv_layers();
-  const core::TimingModel timing(config, fidelity);
-  const core::EnergyModel energy(config);
-  const core::Scheduler scheduler(config);
+  add_model(net, weights);
+}
+
+std::uint32_t Pcu::add_model(const nn::Network& net,
+                             const nn::NetWeights& weights) {
+  const std::vector<nn::ConvLayerParams> layers = net.conv_layers();
+  const core::TimingModel timing(config_, fidelity_);
+  const core::EnergyModel energy(config_);
+  const core::Scheduler scheduler(config_);
+
+  ModelSlot slot;
+  slot.net = &net;
+  slot.weights = &weights;
 
   // Per-layer split into recalibration (hideable behind the previous
   // layer's compute via the shadow bank set) and everything else (floored
@@ -45,12 +54,12 @@ Pcu::Pcu(std::size_t index, const core::PcnnaConfig& config,
     recal[i] = t.weight_load_time;
     nonrecal[i] =
         std::max(t.full_system_time - t.weight_load_time, t.dram_time);
-    request_time_serial_ += t.full_system_time;
+    slot.request_time_serial += t.full_system_time;
     // Capability metric: sequential bank passes per kernel location this
     // config needs for the layer (1 when the receptive field fits a
     // full-kernel bank; channel-group segments x per-channel passes
     // otherwise).
-    split_passes_ += scheduler.plan(layers[i]).cycles_per_location;
+    slot.split_passes += scheduler.plan(layers[i]).cycles_per_location;
   }
 
   // Steady-state interval: layer i's optical pass of request r overlaps the
@@ -59,42 +68,59 @@ Pcu::Pcu(std::size_t index, const core::PcnnaConfig& config,
   // to the whole request stream.
   for (std::size_t i = 0; i < layers.size(); ++i) {
     const double next_recal = recal[(i + 1) % layers.size()];
-    request_interval_ += std::max(nonrecal[i], next_recal);
+    slot.request_interval += std::max(nonrecal[i], next_recal);
+    // Switching the programmed model reprograms every bank with nothing to
+    // hide behind: the swap is the plain sum of the recalibrations.
+    slot.swap_time += recal[i];
   }
   // A recalibration that was already hidden under its own layer's DRAM
   // stream in the serial schedule can make the sum above exceed the serial
   // time; double buffering can always fall back to the serial schedule, so
   // the interval is capped there.
-  request_interval_ = std::min(request_interval_, request_time_serial_);
-  warmup_ = layers.empty() ? 0.0 : recal.front();
+  slot.request_interval =
+      std::min(slot.request_interval, slot.request_time_serial);
+  slot.warmup = layers.empty() ? 0.0 : recal.front();
 
   for (const core::EnergyReport& e :
-       energy.network_energy(layers, fidelity)) {
-    request_energy_ += e.total();
+       energy.network_energy(layers, fidelity_)) {
+    slot.request_energy += e.total();
   }
+
+  models_.push_back(slot);
+  return static_cast<std::uint32_t>(models_.size() - 1);
+}
+
+const Pcu::ModelSlot& Pcu::timings(std::uint32_t model) const {
+  PCNNA_CHECK_MSG(model < models_.size(),
+                  "PCU " << index_ << " has " << models_.size()
+                         << " registered models, no model " << model);
+  return models_[model];
 }
 
 RequestResult Pcu::serve(const InferenceRequest& request,
                          bool simulate_values) {
+  const ModelSlot& slot = timings(request.model_id);
   // Per-request reseed: the engine's noise stream restarts from the
   // request's own seed, so the output is identical whether this request is
   // the first thing this PCU ever ran or the thousandth.
   accelerator_.reseed_engine(request.seed);
   core::NetworkRunReport run = accelerator_.run(
-      net_, weights_, request.input, simulate_values,
+      *slot.net, *slot.weights, request.input, simulate_values,
       /*compare_reference=*/false);
 
   RequestResult result;
   result.id = request.id;
   result.pcu_index = index_;
   result.output = std::move(run.output);
-  result.service_time_serial = request_time_serial_;
-  result.service_time_overlapped = request_interval_;
+  result.service_time_serial = slot.request_time_serial;
+  result.service_time_overlapped = slot.request_interval;
   result.energy = run.total_energy;
+  result.model_id = request.model_id;
+  result.tenant = request.tenant;
 
   stats_.requests_served += 1;
-  stats_.busy_time_serial += request_time_serial_;
-  stats_.busy_time_overlapped += request_interval_;
+  stats_.busy_time_serial += slot.request_time_serial;
+  stats_.busy_time_overlapped += slot.request_interval;
   stats_.energy += run.total_energy;
   return result;
 }

@@ -1,12 +1,12 @@
 // One photonic conv unit (PCU) of the batch-serving fleet.
 //
-// A Pcu wraps a core::Accelerator replica programmed with one model and
-// serves InferenceRequests one at a time. Since the fleet became
-// heterogeneous, each Pcu carries its *own* PcnnaConfig (ring/WDM budget,
-// DAC counts, fidelity-limited usable range), its warmup policy, and a
-// free-form capability tag — a fleet can mix big-budget PCUs for wide
-// layers with small cheap ones soaking up the rest. Besides the functional
-// run it prices each request two ways:
+// A Pcu wraps a core::Accelerator replica that can be programmed with any
+// of the fleet's registered models and serves InferenceRequests one at a
+// time. Since the fleet became heterogeneous, each Pcu carries its *own*
+// PcnnaConfig (ring/WDM budget, DAC counts, fidelity-limited usable range),
+// its warmup policy, and a free-form capability tag — a fleet can mix
+// big-budget PCUs for wide layers with small cheap ones. Besides the
+// functional run it prices each request two ways:
 //
 //  * serial: the paper's single-image schedule — every layer pays its
 //    weight-bank reprogramming (MRR retuning + thermal settling) before its
@@ -19,6 +19,18 @@
 //    layer contributes max(non-recal work, next layer's recalibration)
 //    instead of their sum. The non-recal work is itself floored by the
 //    layer's concurrent DRAM stream, which double buffering cannot hide.
+//
+// Multi-model serving: a Pcu is built with one primary model (id 0) and
+// add_model() registers more. All per-request timing/energy constants are
+// precomputed per model; switching the *programmed* model on the
+// double-buffered schedule costs a weight-bank swap — the full serial
+// reprogram Σ layer recalibrations, because the outgoing model's compute
+// stream is gone and nothing remains to hide the retuning behind. The swap
+// subsumes the pipeline-fill warmup (which is just the first layer's share
+// of that same sum). The serial schedule charges every layer's
+// recalibration inline on every request, so it never charges a separate
+// swap. Who pays a swap when is the admission loop's business
+// (PcuPool::simulate_admission tracks the programmed model per PCU).
 #pragma once
 
 #include <cstddef>
@@ -72,8 +84,15 @@ struct RequestResult {
   /// Simulated energy for the request [J].
   double energy = 0.0;
   /// True when load shedding rejected the request instead of serving it:
-  /// the slot is an id-only placeholder (empty output, zero times/energy).
+  /// the slot is a placeholder (empty output, zero times/energy) that still
+  /// carries id, model_id, and tenant so per-tenant/per-model accounting
+  /// stays correct.
   bool shed = false;
+  /// Registered model the request targeted (valid on shed placeholders too).
+  std::uint32_t model_id = 0;
+  /// Owning tenant, carried through from the InferenceRequest (valid on
+  /// shed placeholders too).
+  std::uint32_t tenant = 0;
 };
 
 /// Cumulative counters for one PCU (wall-clock sharding outcome).
@@ -87,10 +106,10 @@ struct PcuStats {
 class Pcu {
  public:
   /// Build one unit: `config`/`fidelity` shape the accelerator model,
-  /// `net`/`weights` are the served model (borrowed; must outlive the Pcu).
-  /// `warmup` picks the pipeline-fill accounting of the admission loop and
-  /// `tag` is a free-form capability label surfaced in per-PCU report
-  /// breakdowns ("big", "edge", ...).
+  /// `net`/`weights` are the primary served model, id 0 (borrowed; must
+  /// outlive the Pcu). `warmup` picks the pipeline-fill accounting of the
+  /// admission loop and `tag` is a free-form capability label surfaced in
+  /// per-PCU report breakdowns ("big", "edge", ...).
   Pcu(std::size_t index, const core::PcnnaConfig& config,
       core::TimingFidelity fidelity, const nn::Network& net,
       const nn::NetWeights& weights,
@@ -102,44 +121,77 @@ class Pcu {
   WarmupPolicy warmup_policy() const { return warmup_policy_; }
   const std::string& tag() const { return tag_; }
 
+  /// Register another model this PCU can be programmed with (borrowed;
+  /// must outlive the Pcu). Returns the new model id (dense, starting at
+  /// 1 — id 0 is the constructor's primary model). Throws if this PCU's
+  /// config cannot map the network (SRAM working-set overflow).
+  std::uint32_t add_model(const nn::Network& net,
+                          const nn::NetWeights& weights);
+
+  /// Number of registered models (>= 1).
+  std::size_t num_models() const { return models_.size(); }
+
   /// Serve one request: reseed the engine to the request's seed (so the
   /// result does not depend on what this PCU served before), run the
-  /// network, and price it. `simulate_values` as in core::Accelerator::run.
+  /// request's model (request.model_id), and price it. `simulate_values`
+  /// as in core::Accelerator::run.
   ///
-  /// Precondition: the request's input matches the network's input shape
-  /// (throws pcnna::Error otherwise). Not thread-safe per Pcu — each Pcu
-  /// is owned by exactly one PcuPool worker thread at a time; distinct
-  /// Pcus may serve concurrently. Internally the accelerator engine may
-  /// additionally fan one request's pixel sweep across
-  /// PcnnaConfig::engine_threads workers (BatchRunnerOptions::engine_threads
-  /// sets it fleet-wide); that intra-image parallelism is deterministic and
-  /// does not change any output bit.
+  /// Preconditions: request.model_id < num_models() and the request's
+  /// input matches that model's input shape (throws pcnna::Error
+  /// otherwise). Not thread-safe per Pcu — each Pcu is owned by exactly
+  /// one PcuPool worker thread at a time; distinct Pcus may serve
+  /// concurrently. Internally the accelerator engine may additionally fan
+  /// one request's pixel sweep across PcnnaConfig::engine_threads workers
+  /// (BatchRunnerOptions::engine_threads sets it fleet-wide); that
+  /// intra-image parallelism is deterministic and does not change any
+  /// output bit.
   RequestResult serve(const InferenceRequest& request, bool simulate_values);
 
   // The accessors below are precomputed per-model constants (set at
-  // construction, immutable after), so they are safe to read from any
+  // registration, immutable after), so they are safe to read from any
   // thread — the virtual-time admission loop reads them while workers
-  // serve.
+  // serve. `model` indexes the registry; the default is the primary model,
+  // keeping every pre-multi-model call site unchanged.
 
   /// Simulated time for one request [s], serial schedule
   /// (Σ layer full_system_time).
-  double request_time_serial() const { return request_time_serial_; }
+  double request_time_serial(std::uint32_t model = 0) const {
+    return timings(model).request_time_serial;
+  }
 
   /// Simulated steady-state interval between request completions with
   /// double-buffered recalibration [s].
-  double request_interval_overlapped() const { return request_interval_; }
+  double request_interval_overlapped(std::uint32_t model = 0) const {
+    return timings(model).request_interval;
+  }
 
   /// One-time pipeline fill [s]: the first request's first-layer
   /// recalibration, which nothing earlier can hide. When (and how often)
   /// the admission loop re-charges it is governed by warmup_policy().
-  double warmup_time() const { return warmup_; }
+  double warmup_time(std::uint32_t model = 0) const {
+    return timings(model).warmup;
+  }
+
+  /// Weight-bank swap cost [s]: the full serial reprogram (Σ layer
+  /// recalibrations — MRR retuning + thermal settling) this PCU pays on
+  /// the double-buffered schedule when it switches to `model` from a
+  /// *different* programmed model. The outgoing model's compute stream is
+  /// gone, so none of it can hide behind the Fig. 4 overlap; it subsumes
+  /// warmup_time() (the first layer's share of the same sum). Always
+  /// <= request_interval_overlapped(model): each recalibration appears in
+  /// exactly one max() term of the interval sum.
+  double swap_time(std::uint32_t model = 0) const {
+    return timings(model).swap_time;
+  }
 
   /// Simulated energy per request [J] (analytical layer energies;
   /// value-independent).
-  double request_energy() const { return request_energy_; }
+  double request_energy(std::uint32_t model = 0) const {
+    return timings(model).request_energy;
+  }
 
   /// Capability metric for dispatch: sequential weight-bank passes per
-  /// kernel location this PCU needs for the served network, summed over
+  /// kernel location this PCU needs for the given model, summed over
   /// conv layers (LayerPlan::cycles_per_location — WDM channel-group
   /// segmentation times any per-channel allocation passes). A receptive
   /// field wider than PcnnaConfig::max_wavelengths splits into sequential
@@ -147,24 +199,34 @@ class Pcu {
   /// per-channel ring allocation retunes once per input channel, so a
   /// small-budget PCU pays *extra splits* (and time) that a big one does
   /// not. DispatchPolicy::kCapabilityAware skips PCUs whose count exceeds
-  /// the fleet minimum.
-  std::size_t channel_split_passes() const { return split_passes_; }
+  /// the fleet minimum for the request's model.
+  std::size_t channel_split_passes(std::uint32_t model = 0) const {
+    return timings(model).split_passes;
+  }
 
  private:
+  /// Per-model precomputed serving constants plus the borrowed model.
+  struct ModelSlot {
+    const nn::Network* net = nullptr;
+    const nn::NetWeights* weights = nullptr;
+    double request_time_serial = 0.0;
+    double request_interval = 0.0;
+    double warmup = 0.0;
+    double swap_time = 0.0;
+    double request_energy = 0.0;
+    std::size_t split_passes = 0;
+  };
+
+  const ModelSlot& timings(std::uint32_t model) const;
+
   std::size_t index_;
+  core::PcnnaConfig config_;
+  core::TimingFidelity fidelity_;
   core::Accelerator accelerator_;
-  const nn::Network& net_;
-  const nn::NetWeights& weights_;
   WarmupPolicy warmup_policy_;
   std::string tag_;
   PcuStats stats_;
-
-  // Precomputed per-request timing/energy of the served model.
-  double request_time_serial_ = 0.0;
-  double request_interval_ = 0.0;
-  double warmup_ = 0.0;
-  double request_energy_ = 0.0;
-  std::size_t split_passes_ = 0;
+  std::vector<ModelSlot> models_;
 };
 
 } // namespace pcnna::runtime

@@ -19,6 +19,7 @@ const char* dispatch_policy_name(DispatchPolicy policy) {
     case DispatchPolicy::kLeastLoaded: return "least-loaded";
     case DispatchPolicy::kCapabilityAware: return "capability-aware";
     case DispatchPolicy::kEdf: return "edf";
+    case DispatchPolicy::kModelAffinity: return "model-affinity";
   }
   // -Werror=switch makes the switch exhaustive at build time; reaching
   // here means an out-of-range cast, not a missing case.
@@ -41,7 +42,7 @@ PcuPool::PcuPool(std::vector<PcuSpec> specs, core::TimingFidelity fidelity,
   PCNNA_CHECK_MSG(!specs.empty(), "a PcuPool needs at least one PCU");
   pcus_.reserve(specs.size());
   const core::PcnnaConfig reference = effective_config(specs.front());
-  min_split_passes_ = std::numeric_limits<std::size_t>::max();
+  std::size_t min_passes = std::numeric_limits<std::size_t>::max();
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const core::PcnnaConfig config = effective_config(specs[i]);
     // Homogeneity is decided on the *device model* alone: only the config
@@ -54,9 +55,23 @@ PcuPool::PcuPool(std::vector<PcuSpec> specs, core::TimingFidelity fidelity,
     if (!(comparable == reference)) homogeneous_ = false;
     pcus_.emplace_back(i, config, fidelity, net, weights, specs[i].warmup,
                        std::move(specs[i].tag));
-    min_split_passes_ =
-        std::min(min_split_passes_, pcus_.back().channel_split_passes());
+    min_passes = std::min(min_passes, pcus_.back().channel_split_passes());
   }
+  min_split_passes_.push_back(min_passes);
+}
+
+std::uint32_t PcuPool::register_model(const nn::Network& net,
+                                      const nn::NetWeights& weights) {
+  std::uint32_t id = 0;
+  std::size_t min_passes = std::numeric_limits<std::size_t>::max();
+  for (Pcu& pcu : pcus_) {
+    id = pcu.add_model(net, weights);
+    PCNNA_CHECK_MSG(id == min_split_passes_.size(),
+                    "model registry out of sync across the fleet");
+    min_passes = std::min(min_passes, pcu.channel_split_passes(id));
+  }
+  min_split_passes_.push_back(min_passes);
+  return id;
 }
 
 PcuPool::PcuPool(std::size_t num_pcus, const core::PcnnaConfig& config,
@@ -139,7 +154,14 @@ std::vector<RequestResult> PcuPool::serve_scheduled(
   }
 
   std::vector<RequestResult> results(requests.size());
-  for (std::size_t id = 0; id < results.size(); ++id) results[id].id = id;
+  // Pre-fill every slot with the request's identity metadata: ids the
+  // schedule skips (load-shed requests) stay placeholders, but per-tenant
+  // and per-model accounting must still see who they were.
+  for (std::size_t id = 0; id < results.size(); ++id) {
+    results[id].id = id;
+    results[id].model_id = requests[id].model_id;
+    results[id].tenant = requests[id].tenant;
+  }
   std::mutex error_mu;
   std::exception_ptr first_error;
 
@@ -176,7 +198,14 @@ struct PendingRequest {
   std::uint32_t tenant = 0;
   PriorityClass priority = PriorityClass::kStandard;
   double deadline = std::numeric_limits<double>::infinity();
+  std::uint32_t model = 0;
 };
+
+/// Sentinel for a PCU whose weight banks have never been programmed: its
+/// first dispatch programs them as part of the normal pipeline fill, so no
+/// swap is charged — there is no outgoing model to tear down.
+inline constexpr std::uint32_t kNoModel =
+    std::numeric_limits<std::uint32_t>::max();
 
 /// Dispatch order of the pending set. Under kEdf: strict PriorityClass
 /// precedence, then earliest absolute deadline (class-partitioned EDF —
@@ -221,6 +250,9 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
   AdmissionResult result;
   std::vector<double> free_at(pcus_.size(), 0.0);
   std::vector<std::size_t> served(pcus_.size(), 0);
+  // Programmed model per PCU: which model's weights currently sit in the
+  // banks. Starts unprogrammed; a dispatch that switches it pays the swap.
+  std::vector<std::uint32_t> programmed(pcus_.size(), kNoModel);
   // Autoscaler state. Without it every PCU is active forever and
   // force_cold never fires, so the lambdas below behave exactly as before.
   std::vector<unsigned char> active(pcus_.size(), 0);
@@ -229,11 +261,12 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
   std::size_t active_count = scaler.enabled ? min_active : pcus_.size();
   for (std::size_t p = 0; p < active_count; ++p) active[p] = 1;
 
-  // Pipeline-fill charge for dispatching a request to PCU p at `start`,
-  // per that PCU's warmup policy. Zero on the serial schedule: without
-  // double buffering every layer pays its recalibration inline. A PCU the
+  // Pipeline-fill charge for dispatching model m to PCU p at `start`, per
+  // that PCU's warmup policy. Zero on the serial schedule: without double
+  // buffering every layer pays its recalibration inline. A PCU the
   // autoscaler just (re)activated is cold regardless of policy.
-  const auto warmup_charge = [&](std::size_t p, double start) -> double {
+  const auto warmup_charge = [&](std::size_t p, std::uint32_t m,
+                                 double start) -> double {
     if (!double_buffer) return 0.0;
     bool cold = true;
     switch (pcus_[p].warmup_policy()) {
@@ -253,39 +286,90 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
         cold = true;
         break;
     }
-    return (cold || force_cold[p]) ? pcus_[p].warmup_time() : 0.0;
+    return (cold || force_cold[p]) ? pcus_[p].warmup_time(m) : 0.0;
   };
 
-  // Service span on PCU p for a request starting at `start`; the policies
-  // that predict completion score candidates with exactly this function,
-  // so the dispatch decision and the actual charge never disagree.
-  const auto service_time = [&](std::size_t p, double start) -> double {
-    if (!double_buffer) return pcus_[p].request_time_serial();
-    return pcus_[p].request_interval_overlapped() + warmup_charge(p, start);
+  // True when dispatching model m to PCU p would reprogram its banks from
+  // a *different* model — the swap event. Only meaningful on the
+  // double-buffered schedule (serial requests reprogram inline anyway),
+  // and never on a PCU's very first programming.
+  const auto would_swap = [&](std::size_t p, std::uint32_t m) -> bool {
+    return double_buffer && programmed[p] != kNoModel && programmed[p] != m;
   };
 
-  // Commit one dispatch: charge service on PCU p starting at `start` and
-  // append the schedule entry.
+  // Truthful service span on PCU p for a model-m request starting at
+  // `start`, swap included: exactly what dispatch() will charge. Used for
+  // the actual charge, shed decisions, and kModelAffinity's scoring.
+  const auto true_service = [&](std::size_t p, std::uint32_t m,
+                                double start) -> double {
+    if (!double_buffer) return pcus_[p].request_time_serial(m);
+    return pcus_[p].request_interval_overlapped(m) +
+           (would_swap(p, m) ? pcus_[p].swap_time(m)
+                             : warmup_charge(p, m, start));
+  };
+
+  // Model-blind service span: the legacy policies' completion score, which
+  // deliberately ignores the swap a dispatch may charge — least-loaded is
+  // a *load* balancer, not a placement policy, and that blindness is
+  // precisely what kModelAffinity fixes (and what the multi-model bench
+  // measures). Identical to true_service on a single-model stream.
+  const auto blind_service = [&](std::size_t p, std::uint32_t m,
+                                 double start) -> double {
+    if (!double_buffer) return pcus_[p].request_time_serial(m);
+    return pcus_[p].request_interval_overlapped(m) +
+           warmup_charge(p, m, start);
+  };
+
+  // Commit one dispatch: charge service on PCU p starting at `start`
+  // (swap or warmup per the programmed state) and append the schedule
+  // entry.
   const auto dispatch = [&](const PendingRequest& r, std::size_t p,
                             double start) {
-    const double warmup = warmup_charge(p, start);
+    const bool swapped = would_swap(p, r.model);
+    const double swap = swapped ? pcus_[p].swap_time(r.model) : 0.0;
+    const double warmup = swapped ? 0.0 : warmup_charge(p, r.model, start);
     const double service =
-        double_buffer ? pcus_[p].request_interval_overlapped() + warmup
-                      : pcus_[p].request_time_serial();
+        double_buffer
+            ? pcus_[p].request_interval_overlapped(r.model) + swap + warmup
+            : pcus_[p].request_time_serial(r.model);
     const double completion = start + service;
     free_at[p] = completion;
     served[p] += 1;
     force_cold[p] = 0;
+    programmed[p] = r.model;
     result.schedule.push_back({r.id, p, r.arrival, start, completion, warmup,
-                               r.tenant, r.priority, r.deadline});
+                               r.tenant, r.priority, r.deadline, r.model,
+                               swap, swapped});
   };
 
-  const auto capable = [&](std::size_t p) {
-    return policy != DispatchPolicy::kCapabilityAware ||
-           pcus_[p].channel_split_passes() == min_split_passes_;
+  // Per-model capability: under kCapabilityAware (and kModelAffinity's
+  // least-loaded-capable fallback) a PCU must map the request's model with
+  // the fleet-minimum number of segmented bank passes.
+  const auto capable = [&](std::size_t p, std::uint32_t m) {
+    if (policy != DispatchPolicy::kCapabilityAware &&
+        policy != DispatchPolicy::kModelAffinity)
+      return true;
+    return pcus_[p].channel_split_passes(m) == min_split_passes_[m];
+  };
+
+  // Model-independent eligibility for the free-event scan: a PCU capable
+  // of no registered model can never be dispatched to.
+  const auto scan_capable = [&](std::size_t p) {
+    for (std::uint32_t m = 0; m < min_split_passes_.size(); ++m)
+      if (capable(p, m)) return true;
+    return false;
+  };
+
+  const auto check_model = [&](const InferenceRequest& request) {
+    PCNNA_CHECK_MSG(request.model_id < min_split_passes_.size(),
+                    "request " << request.id << " targets model "
+                               << request.model_id << " but only "
+                               << min_split_passes_.size()
+                               << " models are registered");
   };
 
   const bool deferred = policy == DispatchPolicy::kEdf ||
+                        policy == DispatchPolicy::kModelAffinity ||
                         options.shed_expired || scaler.enabled;
 
   if (!deferred) {
@@ -293,21 +377,23 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
     // at admission is exact for a FIFO stream: every policy scores
     // candidates from the deterministic free times alone, not from when
     // the decision is made.
-    const auto pick_pcu = [&](double arrival) -> std::size_t {
+    const auto pick_pcu = [&](double arrival,
+                              std::uint32_t model) -> std::size_t {
       if (policy == DispatchPolicy::kEarliestFree) {
         return static_cast<std::size_t>(
             std::min_element(free_at.begin(), free_at.end()) -
             free_at.begin());
       }
-      // kLeastLoaded / kCapabilityAware: earliest predicted completion,
-      // the latter restricted to PCUs that map the network with the
-      // fleet-minimum number of segmented bank passes (no extra splits).
+      // kLeastLoaded / kCapabilityAware: earliest predicted (model-blind)
+      // completion, the latter restricted to PCUs that map the request's
+      // model with the fleet-minimum number of segmented bank passes (no
+      // extra splits).
       std::size_t best = pcus_.size();
       double best_completion = std::numeric_limits<double>::infinity();
       for (std::size_t p = 0; p < pcus_.size(); ++p) {
-        if (!capable(p)) continue;
+        if (!capable(p, model)) continue;
         const double start = std::max(arrival, free_at[p]);
-        const double completion = start + service_time(p, start);
+        const double completion = start + blind_service(p, model, start);
         if (completion < best_completion) {
           best_completion = completion;
           best = p;
@@ -322,10 +408,12 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
     while (queue.next_arrival(next)) {
       now = std::max(now, next);
       while (queue.pop_arrived(now, request)) {
-        const std::size_t p = pick_pcu(request.arrival_time);
+        check_model(request);
+        const std::size_t p = pick_pcu(request.arrival_time,
+                                       request.model_id);
         const double start = std::max(request.arrival_time, free_at[p]);
         dispatch({request.id, request.arrival_time, request.tenant,
-                  request.priority, request.deadline},
+                  request.priority, request.deadline, request.model_id},
                  p, start);
       }
     }
@@ -337,11 +425,18 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
   // commitment is deferred to the moment an eligible PCU actually frees.
   // Necessary because (a) EDF lets a later tighter-deadline arrival
   // overtake queued work, (b) shedding is decided from the fleet state at
-  // the would-start moment, and (c) the autoscaler changes the eligible
-  // set over time. Events are arrivals and PCU-free instants; the clock
-  // only moves forward, so the schedule stays deterministic.
+  // the would-start moment, (c) the autoscaler changes the eligible set
+  // over time, and (d) model affinity may hold a request for a busy PCU
+  // programmed with its model while a less picky request behind it runs.
+  // Events are arrivals and PCU-free instants; the clock only moves
+  // forward, so the schedule stays deterministic.
+  //
+  // kModelAffinity reuses the EDF urgency order: with SLO metadata the
+  // most urgent request gets first pick of the fleet; without it the
+  // order degenerates to FIFO and only the per-model deferrals reorder.
   std::set<PendingRequest, UrgencyOrder> pending(
-      UrgencyOrder{policy == DispatchPolicy::kEdf});
+      UrgencyOrder{policy == DispatchPolicy::kEdf ||
+                   policy == DispatchPolicy::kModelAffinity});
 
   double now = 0.0;
   double last_event = 0.0;
@@ -391,9 +486,12 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
   InferenceRequest request;
   while (true) {
     // Admit everything that has arrived by `now` into the pending set.
-    while (queue.pop_arrived(now, request))
+    while (queue.pop_arrived(now, request)) {
+      check_model(request);
       pending.insert({request.id, request.arrival_time, request.tenant,
-                      request.priority, request.deadline});
+                      request.priority, request.deadline,
+                      request.model_id});
+    }
 
     if (pending.empty()) {
       double next = 0.0;
@@ -408,10 +506,10 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
     }
 
     // The next dispatch opportunity: the earliest instant an eligible
-    // (active and capable) PCU is free.
+    // (active and capable-of-some-model) PCU is free.
     double free_time = std::numeric_limits<double>::infinity();
     for (std::size_t p = 0; p < pcus_.size(); ++p) {
-      if (!active[p] || !capable(p)) continue;
+      if (!active[p] || !scan_capable(p)) continue;
       free_time = std::min(free_time, std::max(now, free_at[p]));
     }
     PCNNA_CHECK_MSG(std::isfinite(free_time),
@@ -428,37 +526,137 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
     }
     advance_to(free_time);
 
-    // Dispatch the most urgent pending request to the best free PCU:
-    // kEarliestFree keeps its longest-free-wins score; the others take
-    // the earliest predicted completion.
-    const PendingRequest r = *pending.begin();
-    pending.erase(pending.begin());
-    std::size_t best = pcus_.size();
-    double best_score = std::numeric_limits<double>::infinity();
-    for (std::size_t p = 0; p < pcus_.size(); ++p) {
-      if (!active[p] || !capable(p) || free_at[p] > now) continue;
-      const double score = policy == DispatchPolicy::kEarliestFree
-                               ? free_at[p]
-                               : now + service_time(p, now);
-      if (score < best_score) {
-        best_score = score;
-        best = p;
-      }
-    }
-    PCNNA_CHECK_MSG(best < pcus_.size(),
-                    "internal error: no free PCU at a free event");
+    // Walk the pending set in urgency order and act on the first request
+    // that can: dispatch it to a free PCU, or shed it. A request may
+    // instead *defer* — under kModelAffinity, to wait for a busy PCU
+    // programmed with its model; under multi-model kCapabilityAware, when
+    // every PCU capable of its model is busy — and then the next pending
+    // request gets its chance. On a single-model stream nothing ever
+    // defers (the free event guarantees a free capable PCU), so this loop
+    // acts on *pending.begin() exactly like the pre-multi-model code.
+    bool acted = false;
+    for (auto it = pending.begin(); it != pending.end(); ++it) {
+      const PendingRequest r = *it;
+      std::size_t best = pcus_.size();
+      double best_score = std::numeric_limits<double>::infinity();
 
-    if (options.shed_expired &&
-        now + service_time(best, now) > r.deadline) {
-      // Predicted completion blows the SLO: reject now, at the moment the
-      // dispatch decision is made, instead of serving uselessly late.
-      result.shed.shed += 1;
-      result.shed.per_tenant[r.tenant] += 1;
-      result.shed.decisions.push_back(
-          {r.id, r.tenant, r.priority, r.arrival, r.deadline, now});
-      continue;
+      if (policy == DispatchPolicy::kModelAffinity) {
+        // (a) Free PCU already programmed with r.model: earliest truthful
+        // completion wins (no swap by construction).
+        for (std::size_t p = 0; p < pcus_.size(); ++p) {
+          if (!active[p] || !capable(p, r.model) || free_at[p] > now ||
+              programmed[p] != r.model)
+            continue;
+          const double score = now + true_service(p, r.model, now);
+          if (score < best_score) {
+            best_score = score;
+            best = p;
+          }
+        }
+        if (best == pcus_.size()) {
+          // (b) Every affine PCU is busy (or none exists). Waiting for
+          // the soonest busy affine PCU predicts completion at its free
+          // time plus a warm steady-state interval; falling back means
+          // swapping onto the best free capable PCU now. Wait only when
+          // waiting both meets the deadline and is at least as fast —
+          // otherwise the affinity queue would blow the SLO (or just
+          // lose throughput) for the sake of a swap.
+          double affine_completion =
+              std::numeric_limits<double>::infinity();
+          for (std::size_t p = 0; p < pcus_.size(); ++p) {
+            if (!active[p] || !capable(p, r.model) ||
+                programmed[p] != r.model || free_at[p] <= now)
+              continue;
+            affine_completion =
+                std::min(affine_completion,
+                         free_at[p] + pcus_[p].request_interval_overlapped(
+                                          r.model));
+          }
+          for (std::size_t p = 0; p < pcus_.size(); ++p) {
+            if (!active[p] || !capable(p, r.model) || free_at[p] > now)
+              continue;
+            const double score = now + true_service(p, r.model, now);
+            if (score < best_score) {
+              best_score = score;
+              best = p;
+            }
+          }
+          if (std::isfinite(affine_completion) &&
+              affine_completion <= r.deadline &&
+              affine_completion <= best_score) {
+            continue; // defer: hold out for the busy affine PCU
+          }
+          if (best == pcus_.size()) {
+            // No free capable PCU either; r waits for a busy one.
+            bool any_capable = false;
+            for (std::size_t p = 0; p < pcus_.size(); ++p)
+              if (active[p] && capable(p, r.model)) any_capable = true;
+            PCNNA_CHECK_MSG(any_capable,
+                            "no active PCU capable of model " << r.model);
+            continue;
+          }
+        }
+      } else {
+        // Legacy policies: best free (active, capable) PCU. kEarliestFree
+        // keeps its longest-free-wins score; the others take the earliest
+        // predicted (model-blind) completion.
+        for (std::size_t p = 0; p < pcus_.size(); ++p) {
+          if (!active[p] || !capable(p, r.model) || free_at[p] > now)
+            continue;
+          const double score =
+              policy == DispatchPolicy::kEarliestFree
+                  ? free_at[p]
+                  : now + blind_service(p, r.model, now);
+          if (score < best_score) {
+            best_score = score;
+            best = p;
+          }
+        }
+        if (best == pcus_.size()) {
+          // Only reachable multi-model under kCapabilityAware: every PCU
+          // capable of r.model is busy, so r waits while less demanding
+          // pending requests may still dispatch.
+          bool any_capable = false;
+          for (std::size_t p = 0; p < pcus_.size(); ++p)
+            if (active[p] && capable(p, r.model)) any_capable = true;
+          PCNNA_CHECK_MSG(any_capable,
+                          "no active PCU capable of model " << r.model);
+          continue;
+        }
+      }
+
+      if (options.shed_expired &&
+          now + true_service(best, r.model, now) > r.deadline) {
+        // Predicted completion blows the SLO: reject now, at the moment
+        // the dispatch decision is made, instead of serving uselessly
+        // late.
+        result.shed.shed += 1;
+        result.shed.per_tenant[r.tenant] += 1;
+        result.shed.decisions.push_back(
+            {r.id, r.tenant, r.priority, r.arrival, r.deadline, now});
+      } else {
+        dispatch(r, best, now);
+      }
+      pending.erase(it);
+      acted = true;
+      break;
     }
-    dispatch(r, best, now);
+
+    if (!acted) {
+      // Every pending request deferred: nothing can start at `now`.
+      // Advance to the next event that can change the picture — the next
+      // arrival or the next strictly-later free time of an eligible PCU.
+      double next_event = std::numeric_limits<double>::infinity();
+      if (queue.next_arrival(next)) next_event = next;
+      for (std::size_t p = 0; p < pcus_.size(); ++p) {
+        if (!active[p] || !scan_capable(p) || free_at[p] <= now) continue;
+        next_event = std::min(next_event, free_at[p]);
+      }
+      PCNNA_CHECK_MSG(std::isfinite(next_event),
+                      "admission deadlock: every pending request is "
+                      "deferred with no future event");
+      advance_to(next_event);
+    }
   }
 
   // Close the mean-active integral at the makespan (the last completion,

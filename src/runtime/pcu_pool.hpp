@@ -89,6 +89,20 @@ enum class DispatchPolicy {
   /// dispatch commitments are deferred to the moment a PCU actually frees
   /// (the event-driven admission mode; see simulate_admission).
   kEdf,
+  /// Swap-aware multi-model dispatch. Prefers a free PCU already
+  /// programmed with the request's model (zero swap); when every affine
+  /// PCU is busy, the request *waits for one* as long as waiting neither
+  /// blows its deadline nor finishes later than swapping onto the best
+  /// free capable PCU right now — otherwise it falls back to
+  /// least-loaded-capable and pays the swap. Requests are considered in
+  /// the same urgency order as kEdf (class, deadline, arrival, id), so a
+  /// run without SLO metadata degenerates to FIFO with model reordering;
+  /// shedding and the autoscaler compose unchanged. The only policy whose
+  /// completion predictions include the swap charge — the legacy policies
+  /// are deliberately model-blind (that asymmetry is what the multi-model
+  /// bench measures). Always event-driven: deferral decisions need the
+  /// fleet state at the moment a PCU frees.
+  kModelAffinity,
 };
 
 const char* dispatch_policy_name(DispatchPolicy policy);
@@ -96,7 +110,8 @@ const char* dispatch_policy_name(DispatchPolicy policy);
 /// All built-in policies, in enum order (for sweeps over policies).
 inline constexpr DispatchPolicy kAllDispatchPolicies[] = {
     DispatchPolicy::kEarliestFree, DispatchPolicy::kLeastLoaded,
-    DispatchPolicy::kCapabilityAware, DispatchPolicy::kEdf};
+    DispatchPolicy::kCapabilityAware, DispatchPolicy::kEdf,
+    DispatchPolicy::kModelAffinity};
 
 /// One request's place in the deterministic virtual-time schedule.
 /// All times are simulated seconds; queueing delay is start - arrival,
@@ -115,6 +130,17 @@ struct ScheduledService {
   std::uint32_t tenant = 0;
   PriorityClass priority = PriorityClass::kStandard;
   double deadline = std::numeric_limits<double>::infinity(); ///< [s]
+  /// Registered model the request ran (InferenceRequest::model_id).
+  std::uint32_t model = 0;
+  /// Weight-bank swap charged inside [start, completion] because this
+  /// dispatch switched the PCU's programmed model [s]; 0 when the PCU was
+  /// already programmed with `model` (or on the serial schedule, which
+  /// pays every recalibration inline).
+  double swap = 0.0;
+  /// True when this dispatch reprogrammed the PCU from a *different*
+  /// model. Distinct from swap > 0: under TimingFidelity::kPaper
+  /// recalibration is free, so a real switch can charge zero seconds.
+  bool swapped = false;
 };
 
 /// Elastic fleet sizing for the admission loop. When enabled, dispatch
@@ -217,15 +243,31 @@ class PcuPool {
   const Pcu& pcu(std::size_t i) const { return pcus_[i]; }
   Pcu& pcu(std::size_t i) { return pcus_[i]; }
 
+  /// Register another model on every PCU of the fleet (borrowed;
+  /// net/weights must outlive the pool). Returns the new model id — dense,
+  /// starting at 1; id 0 is the primary model the pool was built with.
+  /// Requests carry their target via InferenceRequest::model_id, and the
+  /// admission loop charges a weight-bank swap whenever a dispatch
+  /// switches a PCU's programmed model (see Pcu::swap_time).
+  std::uint32_t register_model(const nn::Network& net,
+                               const nn::NetWeights& weights);
+
+  /// Number of registered models (>= 1).
+  std::size_t num_models() const { return min_split_passes_.size(); }
+
   /// True when every PCU was built from an identical spec (the legacy
   /// constructor, or a spec vector whose entries all match). Homogeneous
   /// pools may shard functional work dynamically; heterogeneous ones must
   /// serve on the scheduled PCU (serve_scheduled).
   bool homogeneous() const { return homogeneous_; }
 
-  /// Fleet-minimum Pcu::channel_split_passes — the bar a PCU must meet to
-  /// be *capable* under DispatchPolicy::kCapabilityAware.
-  std::size_t min_split_passes() const { return min_split_passes_; }
+  /// Fleet-minimum Pcu::channel_split_passes for one model — the bar a
+  /// PCU must meet to be *capable* of that model under
+  /// DispatchPolicy::kCapabilityAware and for kModelAffinity's
+  /// least-loaded-capable fallback.
+  std::size_t min_split_passes(std::uint32_t model = 0) const {
+    return min_split_passes_.at(model);
+  }
 
   /// Drain `queue` with one worker thread per PCU and return the results
   /// ordered by request id. Work is sharded dynamically, which is only
@@ -246,9 +288,10 @@ class PcuPool {
   /// hence the same device model — produces each output every run.
   /// `schedule` must reference request ids in [0, requests.size()), each
   /// at most once; ids absent from the schedule (load-shed requests) come
-  /// back as empty placeholder results carrying only their id. Results
-  /// come back ordered by request id. Rethrows the first worker exception
-  /// after all threads join.
+  /// back as empty placeholder results that still carry their id,
+  /// model_id, and tenant (so per-tenant / per-model accounting stays
+  /// correct under shedding). Results come back ordered by request id.
+  /// Rethrows the first worker exception after all threads join.
   std::vector<RequestResult> serve_scheduled(
       std::vector<InferenceRequest> requests,
       const std::vector<ScheduledService>& schedule, bool simulate_values);
@@ -282,11 +325,21 @@ class PcuPool {
   ///    scores depend only on deterministic per-PCU free times — a later
   ///    arrival can never change an earlier commitment. This is the
   ///    pre-SLO code path, kept bit-identical.
-  ///  * Event-driven (kEdf, shed_expired, or autoscaler.enabled): arrived
-  ///    requests wait in a pending set and commitments are deferred to the
-  ///    moment a PCU frees, because EDF lets a later tighter-deadline
-  ///    arrival overtake, shedding is decided at the would-start moment,
-  ///    and the active PCU set itself varies over time.
+  ///  * Event-driven (kEdf, kModelAffinity, shed_expired, or
+  ///    autoscaler.enabled): arrived requests wait in a pending set and
+  ///    commitments are deferred to the moment a PCU frees, because EDF
+  ///    lets a later tighter-deadline arrival overtake, affinity may hold
+  ///    a request for a busy PCU programmed with its model, shedding is
+  ///    decided at the would-start moment, and the active PCU set itself
+  ///    varies over time.
+  ///
+  /// Multi-model accounting (any mode): each PCU tracks its programmed
+  /// model; a dispatch that switches it charges Pcu::swap_time(model)
+  /// instead of the warmup (the swap is the full serial reprogram and
+  /// subsumes the pipeline fill). A PCU's very first programming is free
+  /// of swap — there is no outgoing model to tear down — and the serial
+  /// (!double_buffer) schedule never charges swaps at all, because every
+  /// layer already pays its recalibration inline on every request.
   ///
   /// Returns the schedule of *served* requests in dispatch order plus the
   /// shed and autoscaler outcomes; without shedding the schedule covers
@@ -303,7 +356,8 @@ class PcuPool {
  private:
   std::vector<Pcu> pcus_;
   bool homogeneous_ = true;
-  std::size_t min_split_passes_ = 0;
+  /// Fleet-minimum split passes, one entry per registered model.
+  std::vector<std::size_t> min_split_passes_;
 };
 
 } // namespace pcnna::runtime

@@ -73,6 +73,11 @@ struct InferenceRequest {
   /// EDF admission order and by load shedding (a request whose predicted
   /// completion exceeds this is rejected). Never affects the output.
   double deadline = std::numeric_limits<double>::infinity();
+  /// Which registered model this request targets (index into the pool's
+  /// model registry; 0 is the primary model every pool is built with).
+  /// Dispatching a request to a PCU programmed with a different model
+  /// charges a weight-bank swap through the double-buffer timing model.
+  std::uint32_t model_id = 0;
   nn::Tensor input;
 };
 
@@ -88,6 +93,11 @@ struct RequestSlo {
 
 /// One RequestSlo per request, index-aligned with the ArrivalSchedule.
 using SloSchedule = std::vector<RequestSlo>;
+
+/// One model id per request, index-aligned with the ArrivalSchedule:
+/// element i names the registered model request i targets. An empty
+/// schedule means every request runs the primary model (id 0).
+using ModelSchedule = std::vector<std::uint32_t>;
 
 /// Per-request seed derived from the runner's base seed by a SplitMix64
 /// mixing step: decorrelated across ids, reproducible from (base, id) alone,

@@ -1,0 +1,334 @@
+// Property tests over the admission loop itself.
+//
+// The load-bearing guarantees pinned here:
+//  * simulate_admission is a pure function of (requests, options): two
+//    runs with identical inputs produce bitwise-identical schedules, shed
+//    decisions, and autoscaler stats — even on the fully event-driven
+//    path (affinity + shedding + autoscaler + multiple models);
+//  * engine_threads is a host-parallelism knob: no virtual-time quantity
+//    may depend on it, so schedules are bit-identical across settings;
+//  * adversarial EDF tie-breaks: requests tied on (class, deadline,
+//    arrival) are ordered by id and nothing else — push order, model ids
+//    and PCU history must not leak into the order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/config.hpp"
+#include "nn/models.hpp"
+#include "nn/synth.hpp"
+#include "runtime/pcu_pool.hpp"
+#include "runtime/arrival.hpp"
+
+namespace {
+
+using namespace pcnna;
+using core::PcnnaConfig;
+using core::TimingFidelity;
+using runtime::AdmissionOptions;
+using runtime::AdmissionResult;
+using runtime::ArrivalSchedule;
+using runtime::DispatchPolicy;
+using runtime::InferenceRequest;
+using runtime::PcuPool;
+using runtime::PcuSpec;
+using runtime::PriorityClass;
+using runtime::RequestQueue;
+using runtime::ScheduledService;
+
+struct TwoModels {
+  nn::Network net;
+  nn::NetWeights weights_a;
+  nn::NetWeights weights_b;
+};
+
+TwoModels make_two_models(std::uint64_t seed = 31) {
+  Rng rng(seed);
+  TwoModels t{nn::tiny_cnn(), {}, {}};
+  t.weights_a = nn::make_network_weights(t.net, rng);
+  t.weights_b = nn::make_network_weights(t.net, rng);
+  return t;
+}
+
+AdmissionResult admit(PcuPool& pool, std::vector<InferenceRequest> requests,
+                      const AdmissionOptions& admission) {
+  RequestQueue queue;
+  for (InferenceRequest& r : requests) queue.push(std::move(r));
+  queue.close();
+  return pool.simulate_admission(queue, admission);
+}
+
+/// Bitwise equality over every ScheduledService field — doubles compared
+/// exactly, because determinism means identical bits, not "close".
+void expect_bit_identical(const AdmissionResult& a, const AdmissionResult& b) {
+  ASSERT_EQ(a.schedule.size(), b.schedule.size());
+  for (std::size_t i = 0; i < a.schedule.size(); ++i) {
+    const ScheduledService& x = a.schedule[i];
+    const ScheduledService& y = b.schedule[i];
+    EXPECT_EQ(x.id, y.id) << "entry " << i;
+    EXPECT_EQ(x.pcu, y.pcu) << "entry " << i;
+    EXPECT_EQ(x.arrival, y.arrival) << "entry " << i;
+    EXPECT_EQ(x.start, y.start) << "entry " << i;
+    EXPECT_EQ(x.completion, y.completion) << "entry " << i;
+    EXPECT_EQ(x.warmup, y.warmup) << "entry " << i;
+    EXPECT_EQ(x.tenant, y.tenant) << "entry " << i;
+    EXPECT_EQ(x.priority, y.priority) << "entry " << i;
+    EXPECT_EQ(x.deadline, y.deadline) << "entry " << i;
+    EXPECT_EQ(x.model, y.model) << "entry " << i;
+    EXPECT_EQ(x.swap, y.swap) << "entry " << i;
+    EXPECT_EQ(x.swapped, y.swapped) << "entry " << i;
+  }
+  ASSERT_EQ(a.shed.shed, b.shed.shed);
+  ASSERT_EQ(a.shed.decisions.size(), b.shed.decisions.size());
+  for (std::size_t i = 0; i < a.shed.decisions.size(); ++i) {
+    EXPECT_EQ(a.shed.decisions[i].id, b.shed.decisions[i].id);
+    EXPECT_EQ(a.shed.decisions[i].decision_time,
+              b.shed.decisions[i].decision_time);
+  }
+  EXPECT_EQ(a.autoscaler.scale_ups, b.autoscaler.scale_ups);
+  EXPECT_EQ(a.autoscaler.scale_downs, b.autoscaler.scale_downs);
+  EXPECT_EQ(a.autoscaler.mean_active, b.autoscaler.mean_active);
+}
+
+/// The nastiest stream we can build deterministically: two models, three
+/// tenant classes, finite deadlines, overload — exercising affinity
+/// deferral, swap fallback, shedding and the autoscaler in one run.
+std::vector<InferenceRequest> adversarial_stream(const PcuPool& pool,
+                                                 std::size_t count) {
+  const double interval = pool.pcu(0).request_interval_overlapped(0);
+  const double warmup = pool.pcu(0).warmup_time(0);
+  const ArrivalSchedule arrivals =
+      runtime::poisson_arrivals(count, 2.2 / interval, 13);
+  Rng rng(99);
+  std::vector<InferenceRequest> requests;
+  for (std::size_t id = 0; id < count; ++id) {
+    InferenceRequest r;
+    r.id = id;
+    r.arrival_time = arrivals[id];
+    r.model_id = static_cast<std::uint32_t>(rng.next_u64() % 2);
+    const std::uint64_t cls = rng.next_u64() % 3;
+    r.priority = cls == 0 ? PriorityClass::kInteractive
+                          : (cls == 1 ? PriorityClass::kStandard
+                                      : PriorityClass::kBestEffort);
+    r.tenant = static_cast<std::uint32_t>(cls);
+    r.deadline = arrivals[id] + warmup +
+                 (2.0 + static_cast<double>(rng.next_u64() % 8)) * interval;
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+// --- Determinism across repeated runs (satellite) ---
+
+TEST(AdmissionDeterminism, EventDrivenScheduleBitIdenticalAcrossRuns) {
+  const TwoModels t = make_two_models();
+  PcuPool pool(3, PcnnaConfig::paper_defaults(), TimingFidelity::kFull,
+               t.net, t.weights_a);
+  pool.register_model(t.net, t.weights_b);
+  const double interval = pool.pcu(0).request_interval_overlapped(0);
+
+  AdmissionOptions o;
+  o.policy = DispatchPolicy::kModelAffinity;
+  o.shed_expired = true;
+  o.autoscaler.enabled = true;
+  o.autoscaler.min_active = 1;
+  o.autoscaler.backlog_per_pcu = 1.5;
+  o.autoscaler.shrink_after_idle = 3.0 * interval;
+
+  const AdmissionResult a = admit(pool, adversarial_stream(pool, 400), o);
+  const AdmissionResult b = admit(pool, adversarial_stream(pool, 400), o);
+  ASSERT_GT(a.schedule.size(), 0u);
+  expect_bit_identical(a, b);
+}
+
+TEST(AdmissionDeterminism, EagerScheduleBitIdenticalAcrossRuns) {
+  const TwoModels t = make_two_models();
+  PcuPool pool(2, PcnnaConfig::paper_defaults(), TimingFidelity::kFull,
+               t.net, t.weights_a);
+  pool.register_model(t.net, t.weights_b);
+  const AdmissionResult a =
+      admit(pool, adversarial_stream(pool, 300), {});
+  const AdmissionResult b =
+      admit(pool, adversarial_stream(pool, 300), {});
+  expect_bit_identical(a, b);
+}
+
+// --- Determinism across engine_threads (satellite) ---
+
+TEST(AdmissionDeterminism, EngineThreadsNeverPerturbsTheSchedule) {
+  const TwoModels t = make_two_models();
+
+  const auto build = [&](std::size_t threads) {
+    PcuSpec spec;
+    spec.config = PcnnaConfig::paper_defaults();
+    spec.engine_threads = threads;
+    return PcuPool(std::vector<PcuSpec>(3, spec), TimingFidelity::kFull,
+                   t.net, t.weights_a);
+  };
+  PcuPool one = build(1);
+  PcuPool many = build(8);
+  one.register_model(t.net, t.weights_b);
+  many.register_model(t.net, t.weights_b);
+  const double interval = one.pcu(0).request_interval_overlapped(0);
+
+  AdmissionOptions o;
+  o.policy = DispatchPolicy::kModelAffinity;
+  o.shed_expired = true;
+  o.autoscaler.enabled = true;
+  o.autoscaler.min_active = 1;
+  o.autoscaler.backlog_per_pcu = 1.5;
+  o.autoscaler.shrink_after_idle = 3.0 * interval;
+
+  // Virtual-time accounting must be a function of the device models only:
+  // the host thread count may change who computes, never what is computed
+  // or when the schedule says it happens.
+  const AdmissionResult a = admit(one, adversarial_stream(one, 400), o);
+  const AdmissionResult b = admit(many, adversarial_stream(many, 400), o);
+  expect_bit_identical(a, b);
+
+  AdmissionOptions edf;
+  edf.policy = DispatchPolicy::kEdf;
+  const AdmissionResult c = admit(one, adversarial_stream(one, 200), edf);
+  const AdmissionResult d = admit(many, adversarial_stream(many, 200), edf);
+  expect_bit_identical(c, d);
+}
+
+// --- Adversarial EDF tie-breaks (satellite) ---
+
+TEST(EdfTieBreak, FullTiesAreBrokenOnlyById) {
+  const TwoModels t = make_two_models();
+  PcuPool pool(1, PcnnaConfig::paper_defaults(), TimingFidelity::kFull,
+               t.net, t.weights_a);
+  const double interval = pool.pcu(0).request_interval_overlapped();
+
+  // Four requests tied on (class, deadline, arrival), pushed in scrambled
+  // id order: the dispatch order must come out ascending by id — push
+  // order must not leak through the pending set.
+  const double deadline = 100.0 * interval;
+  std::vector<InferenceRequest> requests;
+  for (const std::uint64_t id : {3u, 1u, 2u, 0u}) {
+    InferenceRequest r;
+    r.id = id;
+    r.arrival_time = 0.0;
+    r.priority = PriorityClass::kStandard;
+    r.deadline = deadline;
+    requests.push_back(r);
+  }
+  AdmissionOptions edf;
+  edf.policy = DispatchPolicy::kEdf;
+  const AdmissionResult r = admit(pool, std::move(requests), edf);
+  ASSERT_EQ(4u, r.schedule.size());
+  for (std::uint64_t i = 0; i < 4; ++i)
+    EXPECT_EQ(i, r.schedule[i].id) << "position " << i;
+}
+
+TEST(EdfTieBreak, ArrivalBreaksDeadlineTiesBeforeId) {
+  const TwoModels t = make_two_models();
+  PcuPool pool(1, PcnnaConfig::paper_defaults(), TimingFidelity::kFull,
+               t.net, t.weights_a);
+  const double interval = pool.pcu(0).request_interval_overlapped();
+
+  // Request 9 arrives before request 1, same class and deadline; both are
+  // queued behind request 5 when the PCU frees. The earlier *arrival*
+  // must win even though its id is larger.
+  const double deadline = 100.0 * interval;
+  std::vector<InferenceRequest> requests;
+  InferenceRequest head;
+  head.id = 5;
+  head.arrival_time = 0.0;
+  head.deadline = deadline;
+  requests.push_back(head);
+  InferenceRequest nine;
+  nine.id = 9;
+  nine.arrival_time = 0.2 * interval;
+  nine.deadline = deadline;
+  requests.push_back(nine);
+  InferenceRequest one;
+  one.id = 1;
+  one.arrival_time = 0.3 * interval;
+  one.deadline = deadline;
+  requests.push_back(one);
+
+  AdmissionOptions edf;
+  edf.policy = DispatchPolicy::kEdf;
+  const AdmissionResult r = admit(pool, std::move(requests), edf);
+  ASSERT_EQ(3u, r.schedule.size());
+  EXPECT_EQ(5u, r.schedule[0].id);
+  EXPECT_EQ(9u, r.schedule[1].id) << "earlier arrival beats smaller id";
+  EXPECT_EQ(1u, r.schedule[2].id);
+}
+
+TEST(EdfTieBreak, ClassOutranksDeadlineAndIdUnderFullAdversity) {
+  const TwoModels t = make_two_models();
+  PcuPool pool(1, PcnnaConfig::paper_defaults(), TimingFidelity::kFull,
+               t.net, t.weights_a);
+  const double interval = pool.pcu(0).request_interval_overlapped();
+
+  // Interactive with the LATEST deadline and LARGEST id still goes first;
+  // best-effort with the tightest deadline and smallest id still goes
+  // last.
+  std::vector<InferenceRequest> requests;
+  InferenceRequest be;
+  be.id = 0;
+  be.arrival_time = 0.0;
+  be.priority = PriorityClass::kBestEffort;
+  be.deadline = 1.0 * interval;
+  requests.push_back(be);
+  InferenceRequest std_r;
+  std_r.id = 1;
+  std_r.arrival_time = 0.0;
+  std_r.priority = PriorityClass::kStandard;
+  std_r.deadline = 2.0 * interval;
+  requests.push_back(std_r);
+  InferenceRequest inter;
+  inter.id = 2;
+  inter.arrival_time = 0.0;
+  inter.priority = PriorityClass::kInteractive;
+  inter.deadline = 500.0 * interval;
+  requests.push_back(inter);
+
+  AdmissionOptions edf;
+  edf.policy = DispatchPolicy::kEdf;
+  const AdmissionResult r = admit(pool, std::move(requests), edf);
+  ASSERT_EQ(3u, r.schedule.size());
+  EXPECT_EQ(2u, r.schedule[0].id);
+  EXPECT_EQ(1u, r.schedule[1].id);
+  EXPECT_EQ(0u, r.schedule[2].id);
+}
+
+TEST(EdfTieBreak, ModelAffinityUsesTheSameUrgencyOrderOnTies) {
+  const TwoModels t = make_two_models();
+  PcuPool pool(1, PcnnaConfig::paper_defaults(), TimingFidelity::kFull,
+               t.net, t.weights_a);
+  pool.register_model(t.net, t.weights_b);
+  const double interval = pool.pcu(0).request_interval_overlapped(0);
+
+  // Full ties again, but under kModelAffinity with mixed models on one
+  // PCU: urgency (id) decides who runs next, and the swap pattern follows
+  // from that order — never the other way around.
+  const double deadline = 200.0 * interval;
+  std::vector<InferenceRequest> requests;
+  for (const std::uint64_t id : {2u, 0u, 3u, 1u}) {
+    InferenceRequest r;
+    r.id = id;
+    r.arrival_time = 0.0;
+    r.deadline = deadline;
+    r.model_id = static_cast<std::uint32_t>(id % 2);
+    requests.push_back(r);
+  }
+  AdmissionOptions affinity;
+  affinity.policy = DispatchPolicy::kModelAffinity;
+  const AdmissionResult r = admit(pool, std::move(requests), affinity);
+  ASSERT_EQ(4u, r.schedule.size());
+  for (std::uint64_t i = 0; i < 4; ++i)
+    EXPECT_EQ(i, r.schedule[i].id) << "position " << i;
+  // Ids alternate models, so the single PCU swaps on every dispatch after
+  // the first.
+  EXPECT_FALSE(r.schedule[0].swapped);
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_TRUE(r.schedule[i].swapped);
+}
+
+} // namespace

@@ -1,0 +1,260 @@
+// AOT layer planner and its memoizing PlanCache.
+//
+// The load-bearing guarantees pinned here:
+//  * exact hit/miss/invalidation accounting — every lookup lands in
+//    exactly one bucket, and a warm second pass over the same network is
+//    100% hits (the >= 95% warm-path gate);
+//  * a cached strategy is bit-identical to a freshly searched one
+//    (memberwise equality over the plan, the timing, and the calibration
+//    artifact);
+//  * bumping the recalibration epoch invalidates exactly the entries
+//    inserted before the bump — newer entries keep hitting;
+//  * the configuration digest separates everything that plans differently
+//    (fields, fidelity) and nothing that doesn't (engine_threads).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/config.hpp"
+#include "core/planner.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace pcnna;
+using core::PcnnaConfig;
+using core::LayerStrategy;
+using core::NetworkPlan;
+using core::PlanCache;
+using core::PlanCacheStats;
+using core::PlanKey;
+using core::Planner;
+using core::RingAllocation;
+using core::TimingFidelity;
+using core::TimingModel;
+using core::config_hash;
+
+nn::ConvLayerParams layer_a() {
+  // LeNet-ish small conv layer.
+  return {"conv_a", 28, 5, 0, 1, 1, 6};
+}
+
+nn::ConvLayerParams layer_b() {
+  return {"conv_b", 14, 5, 0, 1, 6, 16};
+}
+
+// --- Configuration digest ---
+
+TEST(ConfigHash, EqualConfigsHashEqualAndEveryModeledFieldSeparates) {
+  const PcnnaConfig base = PcnnaConfig::paper_defaults();
+  EXPECT_EQ(config_hash(base), config_hash(PcnnaConfig::paper_defaults()));
+
+  PcnnaConfig c = base;
+  c.max_wavelengths /= 2;
+  EXPECT_NE(config_hash(base), config_hash(c));
+
+  c = base;
+  c.allocation = RingAllocation::kPerChannel;
+  EXPECT_NE(config_hash(base), config_hash(c));
+
+  c = base;
+  c.seed += 1; // drives the fabrication draws of the calibration artifact
+  EXPECT_NE(config_hash(base), config_hash(c));
+
+  c = base;
+  c.bank.ring.fab_sigma += 1e-12;
+  EXPECT_NE(config_hash(base), config_hash(c));
+
+  c = base;
+  c.sram.capacity_bits *= 2.0;
+  EXPECT_NE(config_hash(base), config_hash(c));
+
+  c = base;
+  c.dram.bandwidth *= 2.0;
+  EXPECT_NE(config_hash(base), config_hash(c));
+}
+
+TEST(ConfigHash, EngineThreadsDoesNotSplitTheCache) {
+  // A host-parallelism knob no modeled quantity depends on: hashing it
+  // would only cause spurious misses between identical-planning runs.
+  PcnnaConfig a = PcnnaConfig::paper_defaults();
+  PcnnaConfig b = a;
+  b.engine_threads = 8;
+  EXPECT_EQ(config_hash(a), config_hash(b));
+}
+
+TEST(PlanKeyTest, SameShapeDifferentNameSharesTheKey) {
+  Planner planner(PcnnaConfig::paper_defaults());
+  nn::ConvLayerParams renamed = layer_a();
+  renamed.name = "something_else";
+  EXPECT_EQ(planner.key(layer_a()), planner.key(renamed));
+
+  nn::ConvLayerParams wider = layer_a();
+  wider.K += 1;
+  EXPECT_FALSE(planner.key(layer_a()) == planner.key(wider));
+}
+
+// --- Hit/miss accounting (satellite) ---
+
+TEST(PlanCacheTest, ExactHitMissAccounting) {
+  Planner planner(PcnnaConfig::paper_defaults());
+  const PlanCacheStats& stats = planner.cache().stats();
+
+  planner.plan_layer(layer_a());
+  EXPECT_EQ((PlanCacheStats{0, 1, 0}), stats) << "cold lookup is one miss";
+  planner.plan_layer(layer_a());
+  EXPECT_EQ((PlanCacheStats{1, 1, 0}), stats);
+  planner.plan_layer(layer_b());
+  EXPECT_EQ((PlanCacheStats{1, 2, 0}), stats);
+  planner.plan_layer(layer_b());
+  planner.plan_layer(layer_a());
+  EXPECT_EQ((PlanCacheStats{3, 2, 0}), stats);
+  EXPECT_EQ(2u, planner.cache().size());
+}
+
+TEST(PlanCacheTest, SecondIdenticalNetworkPassIsAllHits) {
+  Planner planner(PcnnaConfig::paper_defaults());
+  const std::vector<nn::ConvLayerParams> layers =
+      nn::alexnet().conv_layers();
+
+  const NetworkPlan cold = planner.plan_network(layers);
+  const std::size_t cold_misses = planner.cache().stats().misses;
+  EXPECT_EQ(0u, planner.cache().stats().hits);
+  EXPECT_LE(cold_misses, layers.size());
+
+  const NetworkPlan warm = planner.plan_network(layers);
+  const PlanCacheStats& stats = planner.cache().stats();
+  // The warm-path gate: >= 95% hits on the second identical pass. Every
+  // lookup hits (100%), because nothing was invalidated in between.
+  EXPECT_EQ(layers.size(), stats.hits);
+  EXPECT_EQ(cold_misses, stats.misses) << "no new misses on the warm pass";
+  EXPECT_EQ(0u, stats.invalidations);
+  ASSERT_EQ(cold.layers.size(), warm.layers.size());
+  EXPECT_EQ(cold.total_latency, warm.total_latency);
+}
+
+TEST(PlanCacheTest, SharedCacheMemoizesAcrossPlanners) {
+  PlanCache shared;
+  Planner first(PcnnaConfig::paper_defaults(), TimingFidelity::kFull,
+                &shared);
+  first.plan_layer(layer_a());
+  Planner second(PcnnaConfig::paper_defaults(), TimingFidelity::kFull,
+                 &shared);
+  second.plan_layer(layer_a());
+  EXPECT_EQ(1u, shared.stats().hits);
+  EXPECT_EQ(1u, shared.stats().misses);
+}
+
+TEST(PlanCacheTest, FidelitiesNeverShareEntries) {
+  PlanCache shared;
+  Planner full(PcnnaConfig::paper_defaults(), TimingFidelity::kFull,
+               &shared);
+  Planner paper(PcnnaConfig::paper_defaults(), TimingFidelity::kPaper,
+                &shared);
+  full.plan_layer(layer_a());
+  paper.plan_layer(layer_a());
+  EXPECT_EQ(0u, shared.stats().hits);
+  EXPECT_EQ(2u, shared.stats().misses);
+  EXPECT_EQ(2u, shared.size());
+}
+
+// --- Bit-identical cached strategies (satellite) ---
+
+TEST(PlannerTest, CachedStrategyBitIdenticalToFreshSearch) {
+  Planner planner(PcnnaConfig::paper_defaults());
+  const LayerStrategy first = planner.plan_layer(layer_b());
+  const LayerStrategy cached = planner.plan_layer(layer_b());
+  // Memberwise equality: the mapping, the timing breakdown (exact double
+  // compares), and the calibration artifact all round-trip the cache.
+  EXPECT_EQ(first, cached);
+
+  Planner fresh(PcnnaConfig::paper_defaults());
+  EXPECT_EQ(first, fresh.plan_layer(layer_b()))
+      << "a fresh planner's search reproduces the strategy bit-for-bit";
+}
+
+// --- Epoch invalidation (satellite) ---
+
+TEST(PlanCacheTest, EpochBumpInvalidatesExactlyTheStaleEntries) {
+  Planner planner(PcnnaConfig::paper_defaults());
+  planner.plan_layer(layer_a()); // inserted under epoch 0
+
+  planner.cache().bump_epoch();
+  planner.plan_layer(layer_b()); // inserted under epoch 1 — stays fresh
+
+  // layer_a is stale: evicted on lookup, one invalidation + one miss, and
+  // the re-planned entry is cached under the current epoch.
+  planner.plan_layer(layer_a());
+  EXPECT_EQ((PlanCacheStats{0, 3, 1}), planner.cache().stats());
+
+  // Exactly the stale entry was invalidated: both now hit.
+  planner.plan_layer(layer_a());
+  planner.plan_layer(layer_b());
+  EXPECT_EQ((PlanCacheStats{2, 3, 1}), planner.cache().stats());
+  EXPECT_EQ(1u, planner.cache().epoch());
+}
+
+TEST(PlanCacheTest, RecalibratedStrategyStaysBitIdenticalUnderSameSeed) {
+  // The epoch models device drift; with an unchanged config seed the
+  // re-measured calibration artifact lands on the same value, so the
+  // re-planned strategy is equal. (A real recalibration changes the seed,
+  // which changes the PlanKey itself.)
+  Planner planner(PcnnaConfig::paper_defaults());
+  const LayerStrategy before = planner.plan_layer(layer_a());
+  planner.cache().bump_epoch();
+  EXPECT_EQ(before, planner.plan_layer(layer_a()));
+}
+
+TEST(PlanCacheTest, ClearDropsEntriesAndStatsButKeepsTheEpoch) {
+  Planner planner(PcnnaConfig::paper_defaults());
+  planner.plan_layer(layer_a());
+  planner.cache().bump_epoch();
+  planner.cache().clear();
+  EXPECT_EQ(0u, planner.cache().size());
+  EXPECT_EQ((PlanCacheStats{0, 0, 0}), planner.cache().stats());
+  EXPECT_EQ(1u, planner.cache().epoch())
+      << "the epoch tracks the physical device, not the cache contents";
+}
+
+// --- Search quality ---
+
+TEST(PlannerTest, SearchNeverLosesToTheAsConfiguredMapping) {
+  const PcnnaConfig config = PcnnaConfig::paper_defaults();
+  Planner planner(config);
+  const TimingModel baseline(config, TimingFidelity::kFull);
+  for (const nn::ConvLayerParams& layer : nn::alexnet().conv_layers()) {
+    const LayerStrategy s = planner.plan_layer(layer);
+    // The as-configured candidate is in the search space, so the winner
+    // can only match or beat it.
+    EXPECT_LE(s.latency, baseline.layer_time(layer).full_system_time)
+        << layer.name;
+    EXPECT_EQ(s.latency, s.timing.full_system_time) << layer.name;
+    EXPECT_GE(s.candidates_searched, 2u) << layer.name;
+    EXPECT_LE(s.wavelengths, config.max_wavelengths) << layer.name;
+    EXPECT_GT(s.usable_range, 0.0) << layer.name;
+    EXPECT_GE(s.plan.group_size, 1u) << layer.name;
+  }
+}
+
+TEST(PlannerTest, NetworkPlanTotalsAreTheSumOfTheWinners) {
+  Planner planner(PcnnaConfig::paper_defaults());
+  const std::vector<nn::ConvLayerParams> layers =
+      nn::lenet5().conv_layers();
+  const NetworkPlan plan = planner.plan_network(layers);
+  ASSERT_EQ(layers.size(), plan.layers.size());
+  double sum = 0.0;
+  for (const LayerStrategy& s : plan.layers) sum += s.latency;
+  EXPECT_DOUBLE_EQ(sum, plan.total_latency);
+  EXPECT_GT(plan.baseline_latency, 0.0);
+  EXPECT_LE(plan.total_latency, plan.baseline_latency);
+}
+
+TEST(PlannerTest, RejectsDegenerateLayers) {
+  Planner planner(PcnnaConfig::paper_defaults());
+  nn::ConvLayerParams bad = layer_a();
+  bad.m = 0;
+  EXPECT_THROW(planner.plan_layer(bad), Error);
+}
+
+} // namespace
