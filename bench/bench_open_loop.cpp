@@ -470,6 +470,145 @@ int main() {
     }
   }
 
+  // --- Fault-injection MTBF sweep: crash-heavy seeded Poisson faults over
+  // the arrival horizon at a fixed 0.6x load, harshening MTBF point by
+  // point. Each point serves the same stream twice: fault-blind (the
+  // dispatcher keeps routing to dead PCUs and nothing is retried — every
+  // request a crash touches is permanently lost) and with the full
+  // tolerance stack (health-aware dispatch, retry with backoff,
+  // quarantine/repair). The self-check gates the tentpole claim: where the
+  // blind path bleeds requests, retry + quarantine still serves >= 95 %.
+  {
+    const double interval = fleet.pool().pcu(0).request_interval_overlapped();
+    const runtime::ArrivalSchedule arrivals = runtime::poisson_arrivals(
+        kRequestsPerPoint, 0.6 * capacity, kArrivalSeed + 600);
+
+    benchutil::DualSink fsink({"MTBF", "mode", "served", "failed", "retries",
+                               "recovered", "avail", "retry p99"},
+                              "pcnna_open_loop_faults.csv");
+
+    std::size_t blind_failed_total = 0;
+    const double mtbf_fractions[] = {0.5, 0.25, 0.125};
+    for (int i = 0; i < 3; ++i) {
+      runtime::FaultModel hazard;
+      hazard.mtbf = mtbf_fractions[i] * arrivals.back();
+      hazard.horizon = arrivals.back();
+      hazard.transient_weight = 1.0;
+      hazard.degrade_weight = 1.0;
+      hazard.crash_weight = 2.0;
+      hazard.degrade_severity = 1.5;
+      hazard.mean_time_to_repair = arrivals.back() / 20.0;
+      const runtime::FaultSchedule faults =
+          runtime::poisson_faults(kPcus, hazard, kArrivalSeed + 700 + i);
+
+      for (const bool tolerant : {false, true}) {
+        runtime::BatchRunnerOptions fopts = options;
+        fopts.faults.schedule = faults;
+        fopts.faults.health_aware = tolerant;
+        if (tolerant) {
+          fopts.faults.detection_latency = interval;
+          fopts.faults.retry.max_retries = 3;
+          fopts.faults.retry.backoff_base = 0.5 * interval;
+          fopts.faults.repair_time = 4.0 * interval;
+        }
+        runtime::BatchRunner runner(config, net, weights, fopts);
+        const runtime::OpenLoopReport r = runner.simulate_open_loop(arrivals);
+
+        const double served_fraction =
+            static_cast<double>(r.served_requests) /
+            static_cast<double>(kRequestsPerPoint);
+        double avail_sum = 0.0;
+        for (const runtime::PcuHealthStats& h : r.fault.per_pcu)
+          avail_sum += h.availability;
+        const double avail_mean =
+            avail_sum / static_cast<double>(r.fault.per_pcu.size());
+        if (!tolerant) blind_failed_total += r.failed_requests;
+
+        fsink.row({format_time(hazard.mtbf),
+                   tolerant ? "tolerant" : "blind",
+                   format_fixed(100.0 * served_fraction, 2) + " %",
+                   std::to_string(r.failed_requests),
+                   std::to_string(r.fault.retries),
+                   std::to_string(r.fault.recovered_requests),
+                   format_fixed(100.0 * avail_mean, 1) + " %",
+                   format_time(r.retry_latency.p99)});
+
+        const std::string point = "fault_mtbf_" +
+                                  format_fixed(mtbf_fractions[i], 3) + "x_" +
+                                  (tolerant ? "tolerant" : "blind");
+        json.row(point, "served_fraction", served_fraction, "fraction");
+        json.row(point, "failed_requests",
+                 static_cast<double>(r.failed_requests), "requests");
+        json.row(point, "retries", static_cast<double>(r.fault.retries),
+                 "retries");
+        json.row(point, "recovered_requests",
+                 static_cast<double>(r.fault.recovered_requests), "requests");
+        json.row(point, "availability_mean", avail_mean, "fraction");
+        json.row(point, "retry_latency_p99", r.retry_latency.p99, "s");
+
+        if (tolerant && !(served_fraction >= 0.95)) {
+          std::cout << "FAIL: retry + quarantine serves only "
+                    << format_fixed(100.0 * served_fraction, 2)
+                    << " % at MTBF " << format_time(hazard.mtbf)
+                    << " (gate: >= 95 %)\n";
+          ok = false;
+        }
+      }
+    }
+    fsink.print("Fault injection - " + net.name() + ", " +
+                std::to_string(kPcus) + " PCUs at 0.6x load, crash-heavy "
+                "Poisson faults (fault-blind vs health-aware + retry + "
+                "quarantine)");
+    if (blind_failed_total == 0) {
+      std::cout << "FAIL: the fault-blind baseline lost nothing — the sweep "
+                   "is not exercising crashes\n";
+      ok = false;
+    }
+
+    // Retry bit-identity: a functional crash run re-executes its victim
+    // from the same per-request seed, so every served output equals the
+    // sequential reference bit for bit.
+    {
+      const nn::Network small = nn::tiny_cnn();
+      Rng srng(19);
+      const nn::NetWeights sweights = nn::make_network_weights(small, srng);
+      std::vector<nn::Tensor> inputs;
+      for (std::size_t i = 0; i < 6; ++i)
+        inputs.push_back(nn::make_network_input(small, srng));
+
+      runtime::BatchRunnerOptions copts;
+      copts.num_pcus = 1;
+      copts.simulate_values = true;
+      copts.seed = 5;
+      runtime::BatchRunner reference(config, small, sweights, copts);
+      const double sinterval =
+          reference.pool().pcu(0).request_interval_overlapped();
+      const double swarmup = reference.pool().pcu(0).warmup_time();
+      copts.faults.schedule = {
+          {swarmup + 1.5 * sinterval, 0, runtime::FaultKind::kCrash, 1.0},
+          {swarmup + 3.5 * sinterval, 0, runtime::FaultKind::kRecover, 1.0},
+      };
+      runtime::BatchRunner crashy(config, small, sweights, copts);
+      runtime::OpenLoopReport crash_report;
+      const auto results = crashy.run_open_loop(
+          inputs, runtime::ArrivalSchedule(inputs.size(), 0.0),
+          &crash_report);
+      if (crash_report.fault.recovered_requests == 0) {
+        std::cout << "FAIL: the functional crash probe recovered nothing\n";
+        ok = false;
+      }
+      for (std::size_t id = 0; id < inputs.size(); ++id) {
+        if (results[id].failed) continue;
+        if (!(reference.run_one(inputs[id], id).output ==
+              results[id].output)) {
+          std::cout << "FAIL: retried request " << id
+                    << " differs from the sequential reference\n";
+          ok = false;
+        }
+      }
+    }
+  }
+
   if (!json.finish()) ok = false;
 
   // The hockey stick: overload tails must tower over light-load tails.
@@ -516,6 +655,7 @@ int main() {
   std::cout << "\nself-checks: " << (ok ? "PASS" : "FAIL")
             << " (determinism, hockey stick, mixed-fleet ordering, "
                "SLO overload split, multi-model affinity speedup, "
-               "autoscaler sizing, bit-identity)\n";
+               "autoscaler sizing, fault-tolerance survival, retry "
+               "bit-identity, bit-identity)\n";
   return ok ? 0 : 1;
 }

@@ -21,10 +21,19 @@ reference results (bench/baselines/ holds the seed run):
 
     python3 scripts/bench_summary.py build/ --baseline bench/baselines
 
-The diff is warn-only: rows drifting more than WARN_FRACTION from the
-baseline, and rows missing on either side, are reported on stderr but do
-not affect the exit code (benches gate their own regressions via
+The diff is warn-only by default: rows drifting more than WARN_FRACTION
+from the baseline, and rows missing on either side, are reported on stderr
+but do not affect the exit code (benches gate their own regressions via
 self-checks; machine speed makes absolute timing diffs advisory).
+
+With --fail-on-regression PCT the diff becomes a gate: rows drifting more
+than PCT percent from the baseline in either direction, and baseline rows
+missing from the current run, fail the process with exit code 1. New rows
+with no baseline stay informational (they appear whenever a PR adds a
+sweep). CI release builds use this to hold the committed reference run:
+
+    python3 scripts/bench_summary.py build/ --baseline bench/baselines \\
+        --fail-on-regression 25
 
 Stdlib only; exits non-zero on malformed files or missing inputs.
 """
@@ -92,37 +101,65 @@ def index_rows(rows):
     return {(r["bench"], r["config"], r["metric"]): r for r in rows}
 
 
-def diff_against_baseline(current, baseline):
-    """Compare two row indexes; return warn-only drift/coverage messages."""
-    messages = []
+def diff_against_baseline(current, baseline, fail_fraction=None):
+    """Compare two row indexes against the warn (and optional fail)
+    thresholds.
+
+    Returns (warnings, failures): drift beyond WARN_FRACTION always lands
+    in warnings; when fail_fraction is set, drift beyond it and baseline
+    rows missing from the current run land in failures instead. New rows
+    are never failures — they appear whenever a PR adds a sweep.
+    """
+    warnings, failures = [], []
+
+    def drift(message, rel):
+        if fail_fraction is not None and abs(rel) > fail_fraction:
+            failures.append(message)
+        else:
+            warnings.append(message)
+
     for key, row in sorted(current.items()):
         base = baseline.get(key)
         if base is None:
-            messages.append("new row (no baseline): "
+            warnings.append("new row (no baseline): "
                             f"{key[0]}/{key[1]}/{key[2]}")
             continue
         base_value = base["value"]
         if base_value == 0:
             if row["value"] != 0:
-                messages.append(
-                    f"drift {key[0]}/{key[1]}/{key[2]}: baseline 0 -> "
-                    f"{fmt_value(row['value'], row['unit'])}")
+                drift(f"drift {key[0]}/{key[1]}/{key[2]}: baseline 0 -> "
+                      f"{fmt_value(row['value'], row['unit'])}",
+                      rel=float("inf"))
             continue
         rel = (row["value"] - base_value) / abs(base_value)
         if abs(rel) > WARN_FRACTION:
-            messages.append(
-                f"drift {key[0]}/{key[1]}/{key[2]}: "
-                f"{fmt_value(base_value, base['unit'])} -> "
-                f"{fmt_value(row['value'], row['unit'])} ({rel:+.1%})")
+            drift(f"drift {key[0]}/{key[1]}/{key[2]}: "
+                  f"{fmt_value(base_value, base['unit'])} -> "
+                  f"{fmt_value(row['value'], row['unit'])} ({rel:+.1%})",
+                  rel=rel)
     for key in sorted(baseline.keys() - current.keys()):
-        messages.append("baseline row missing from this run: "
-                        f"{key[0]}/{key[1]}/{key[2]}")
-    return messages
+        message = ("baseline row missing from this run: "
+                   f"{key[0]}/{key[1]}/{key[2]}")
+        if fail_fraction is not None:
+            failures.append(message)
+        else:
+            warnings.append(message)
+    return warnings, failures
+
+
+def parse_percent(text):
+    try:
+        pct = float(text)
+    except ValueError:
+        raise ValueError(f"--fail-on-regression needs a number, got '{text}'")
+    if not pct > 0:
+        raise ValueError(f"--fail-on-regression must be positive, got {pct}")
+    return pct / 100.0
 
 
 def parse_args(argv):
-    """Split argv into (paths, baseline_path-or-None); -h/--help -> exit."""
-    paths, baseline = [], None
+    """Split argv into (paths, baseline_path, fail_fraction); -h -> exit."""
+    paths, baseline, fail_fraction = [], None, None
     args = list(argv[1:])
     while args:
         arg = args.pop(0)
@@ -135,14 +172,22 @@ def parse_args(argv):
             baseline = args.pop(0)
         elif arg.startswith("--baseline="):
             baseline = arg.split("=", 1)[1]
+        elif arg == "--fail-on-regression":
+            if not args:
+                raise ValueError("--fail-on-regression requires a percentage")
+            fail_fraction = parse_percent(args.pop(0))
+        elif arg.startswith("--fail-on-regression="):
+            fail_fraction = parse_percent(arg.split("=", 1)[1])
         else:
             paths.append(arg)
-    return paths, baseline
+    if fail_fraction is not None and baseline is None:
+        raise ValueError("--fail-on-regression requires --baseline")
+    return paths, baseline, fail_fraction
 
 
 def main(argv):
     try:
-        paths, baseline_path = parse_args(argv)
+        paths, baseline_path, fail_fraction = parse_args(argv)
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
@@ -179,13 +224,20 @@ def main(argv):
             status = 1
 
     if baseline_path is not None and baseline:
-        messages = diff_against_baseline(current, baseline)
-        if messages:
-            print(f"baseline diff ({len(messages)} warning(s), informational "
+        warnings, failures = diff_against_baseline(current, baseline,
+                                                   fail_fraction)
+        if warnings:
+            print(f"baseline diff ({len(warnings)} warning(s), informational "
                   "only):", file=sys.stderr)
-            for m in messages:
+            for m in warnings:
                 print(f"  warning: {m}", file=sys.stderr)
-        else:
+        if failures:
+            print(f"baseline regression gate ({len(failures)} failure(s), "
+                  f"threshold {fail_fraction:.0%}):", file=sys.stderr)
+            for m in failures:
+                print(f"  FAIL: {m}", file=sys.stderr)
+            status = 1
+        if not warnings and not failures:
             print("baseline diff: all rows within "
                   f"{WARN_FRACTION:.0%} of baseline", file=sys.stderr)
     return status

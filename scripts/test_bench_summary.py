@@ -151,6 +151,56 @@ class BenchSummaryTest(unittest.TestCase):
         self.assertEqual(1, status)
         self.assertIn("--baseline requires a path", err)
 
+    def test_fail_on_regression_gates_large_drift(self):
+        # The same 2x drift that the warn-only mode tolerates fails the run
+        # when a gate threshold is armed; missing baseline rows fail too,
+        # but brand-new rows stay informational.
+        base_dir = self.make_baseline_dir(FIXTURE_ROWS + [
+            {"bench": "open_loop", "config": "gone", "metric": "latency_p99",
+             "value": 1.0, "unit": "s"}])
+        current = [dict(FIXTURE_ROWS[0], value=FIXTURE_ROWS[0]["value"] * 2),
+                   FIXTURE_ROWS[1], FIXTURE_ROWS[2],
+                   {"bench": "open_loop", "config": "slo_1.20x_edf_shed",
+                    "metric": "interactive_p99", "value": 6e-5, "unit": "s"}]
+        self.write_fixture("BENCH_open_loop.json", current)
+        status, _, err = self.run_main(
+            [self.tmp.name, "--baseline", base_dir,
+             "--fail-on-regression", "25"])
+        self.assertEqual(1, status, err)
+        self.assertIn("FAIL: drift open_loop/load_0.8x/latency_p99", err)
+        self.assertIn(
+            "FAIL: baseline row missing from this run: open_loop/gone", err)
+        self.assertIn(
+            "new row (no baseline): open_loop/slo_1.20x_edf_shed", err)
+        self.assertNotIn("FAIL: new row", err)
+
+    def test_fail_on_regression_passes_between_thresholds(self):
+        # Drift past the warn threshold but under the gate threshold warns
+        # without failing: the gate is strictly looser than the warning.
+        base_dir = self.make_baseline_dir(FIXTURE_ROWS)
+        nudged = [dict(r, value=r["value"] * 1.15) for r in FIXTURE_ROWS]
+        self.write_fixture("BENCH_open_loop.json", nudged)
+        status, _, err = self.run_main(
+            [self.tmp.name, f"--baseline={base_dir}",
+             "--fail-on-regression=25"])
+        self.assertEqual(0, status, err)
+        self.assertIn("warning: drift", err)
+        self.assertNotIn("FAIL", err)
+
+    def test_fail_on_regression_argument_validation(self):
+        self.write_fixture("BENCH_open_loop.json", FIXTURE_ROWS)
+        for argv, fragment in (
+                (["--fail-on-regression"], "requires a percentage"),
+                ([self.tmp.name, "--baseline", self.tmp.name,
+                  "--fail-on-regression", "zero"], "needs a number"),
+                ([self.tmp.name, "--baseline", self.tmp.name,
+                  "--fail-on-regression", "-5"], "must be positive"),
+                ([self.tmp.name, "--fail-on-regression", "25"],
+                 "requires --baseline")):
+            status, _, err = self.run_main(argv)
+            self.assertEqual(1, status, argv)
+            self.assertIn(fragment, err)
+
 
 if __name__ == "__main__":
     unittest.main()

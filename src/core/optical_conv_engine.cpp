@@ -506,6 +506,12 @@ double measured_usable_range(const PcnnaConfig& cfg, std::size_t channels,
   PCNNA_CHECK(channels >= 1);
   const phot::WdmGrid grid(channels);
   phot::WeightBank bank(grid, cfg.bank, rng);
+  return measured_usable_range(bank);
+}
+
+double measured_usable_range(phot::WeightBank& bank) {
+  const std::size_t channels = bank.channels();
+  PCNNA_CHECK(channels >= 1);
   const std::size_t mid = channels / 2;
   const std::vector<double> hi(channels, 1.0);
   bank.calibrate(hi);

@@ -95,6 +95,15 @@ void inject_stuck_faults(const PcnnaConfig& cfg, phot::WeightBank& bank,
 double measured_usable_range(const PcnnaConfig& cfg, std::size_t channels,
                              Rng& rng);
 
+/// Re-probe variant over an *existing* bank: same hi/lo middle-channel
+/// probe as above, but against `bank`'s current physical state — stuck
+/// rings (WeightBank::fail_ring, inject_stuck_faults) and accumulated
+/// fabrication disorder included — instead of constructing a pristine one.
+/// Draws nothing; the probe is two calibrations plus weight queries. The
+/// bank's programmed weights are clobbered (it ends at the all-negative
+/// extreme); recalibrate afterwards if the bank is still in service.
+double measured_usable_range(phot::WeightBank& bank);
+
 /// Layer-lifetime scratch of the engine hot path. Owned by the engine and
 /// reused across conv2d calls; per-layer precomputes are rebuilt at the top
 /// of each call, per-worker buffers are resized (capacity persists) and

@@ -136,13 +136,22 @@ std::uint64_t config_hash(const PcnnaConfig& config) {
   return h.state;
 }
 
+std::uint64_t PlanCache::epoch(std::uint64_t config_key) const {
+  const auto it = config_epochs_.find(config_key);
+  return epoch_ + (it == config_epochs_.end() ? 0 : it->second);
+}
+
+void PlanCache::bump_epoch(std::uint64_t config_key) {
+  config_epochs_[config_key] += 1;
+}
+
 const LayerStrategy* PlanCache::lookup(const PlanKey& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     stats_.misses += 1;
     return nullptr;
   }
-  if (it->second.epoch != epoch_) {
+  if (it->second.epoch != epoch(key.config)) {
     // Calibration artifact predates the last recalibration: evict, and
     // report a miss so the caller re-plans under the current epoch.
     entries_.erase(it);
@@ -155,7 +164,7 @@ const LayerStrategy* PlanCache::lookup(const PlanKey& key) {
 }
 
 void PlanCache::insert(const PlanKey& key, LayerStrategy strategy) {
-  entries_[key] = Entry{epoch_, std::move(strategy)};
+  entries_[key] = Entry{epoch(key.config), std::move(strategy)};
 }
 
 void PlanCache::clear() {
@@ -163,17 +172,23 @@ void PlanCache::clear() {
   stats_ = PlanCacheStats{};
 }
 
+std::uint64_t plan_config_key(const PcnnaConfig& config,
+                              TimingFidelity fidelity) {
+  // Fold the timing fidelity into the configuration digest: the same
+  // hardware priced under kPaper vs kFull yields different strategies, so
+  // the two must never share cache entries.
+  std::uint64_t key = config_hash(config);
+  key ^= static_cast<std::uint64_t>(fidelity) + 0x9e3779b97f4a7c15ull;
+  key *= 0x100000001b3ull;
+  return key;
+}
+
 Planner::Planner(PcnnaConfig config, TimingFidelity fidelity, PlanCache* cache)
     : config_(std::move(config)),
       fidelity_(fidelity),
       cache_(cache != nullptr ? cache : &owned_) {
   config_.validate();
-  // Fold the timing fidelity into the configuration digest: the same
-  // hardware priced under kPaper vs kFull yields different strategies, so
-  // the two must never share cache entries.
-  config_key_ = config_hash(config_);
-  config_key_ ^= static_cast<std::uint64_t>(fidelity_) + 0x9e3779b97f4a7c15ull;
-  config_key_ *= 0x100000001b3ull;
+  config_key_ = plan_config_key(config_, fidelity_);
 }
 
 PlanKey Planner::key(const nn::ConvLayerParams& layer) const {

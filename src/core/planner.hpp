@@ -39,6 +39,14 @@ namespace pcnna::core {
 /// between runs that plan identically.
 std::uint64_t config_hash(const PcnnaConfig& config);
 
+/// Cache-key digest of (configuration, timing fidelity): config_hash with
+/// the fidelity folded in — exactly the digest Planner::key() stamps into
+/// PlanKey::config. Exposed so integrations that hold only a config (e.g.
+/// the serving runtime bumping a recalibration epoch after a PCU repair)
+/// can address the cache entries of that configuration without a Planner.
+std::uint64_t plan_config_key(const PcnnaConfig& config,
+                              TimingFidelity fidelity);
+
 /// The winning strategy for one layer: the candidate configuration knobs,
 /// the mapping and timing they produce, and the calibration artifact.
 struct LayerStrategy {
@@ -100,15 +108,27 @@ struct PlanCacheStats {
 /// from the registration path, which is single-threaded.
 class PlanCache {
  public:
-  /// Current recalibration epoch. Entries remember the epoch they were
-  /// inserted under and are only served while it matches.
+  /// Current global recalibration epoch. Entries remember the effective
+  /// epoch (global + per-config) they were inserted under and are only
+  /// served while it matches.
   std::uint64_t epoch() const { return epoch_; }
+
+  /// Effective recalibration epoch for one configuration digest
+  /// (PlanKey::config / plan_config_key): the global epoch plus that
+  /// configuration's own bump count.
+  std::uint64_t epoch(std::uint64_t config_key) const;
 
   /// Declare every previously inserted strategy's calibration artifact
   /// stale (e.g. after the device is re-trimmed). Entries are invalidated
   /// lazily, on their next lookup; entries inserted after the bump are
   /// unaffected.
   void bump_epoch() { epoch_ += 1; }
+
+  /// Per-configuration variant: declare stale only the entries whose key
+  /// carries `config_key` (a repair recalibrates *one* PCU configuration;
+  /// strategies planned for other device models stay fresh). Same lazy
+  /// invalidation semantics as the global bump.
+  void bump_epoch(std::uint64_t config_key);
 
   /// Returns the cached strategy, or nullptr on miss. A stale entry
   /// (inserted under an older epoch) is erased and counted as one
@@ -128,12 +148,15 @@ class PlanCache {
 
  private:
   struct Entry {
+    /// Effective epoch (global + per-config) at insert time.
     std::uint64_t epoch = 0;
     LayerStrategy strategy;
   };
 
   std::map<PlanKey, Entry> entries_;
   std::uint64_t epoch_ = 0;
+  /// Per-configuration bump counts (only digests that were ever bumped).
+  std::map<std::uint64_t, std::uint64_t> config_epochs_;
   PlanCacheStats stats_;
 };
 

@@ -61,6 +61,7 @@ ArrivalSchedule parse_arrival_trace(std::istream& in) {
   ArrivalSchedule arrivals;
   std::string line;
   std::size_t line_no = 0;
+  double prev = 0.0;
   while (std::getline(in, line)) {
     ++line_no;
     // Strip CR (Windows traces) and surrounding whitespace.
@@ -77,9 +78,19 @@ ArrivalSchedule parse_arrival_trace(std::istream& in) {
                     "arrival trace line " << line_no
                                           << " is not a timestamp: '" << token
                                           << "'");
+    // Validate in place so a bad trace names the offending *line*, not a
+    // post-hoc schedule index (comments and blanks shift the two apart).
+    PCNNA_CHECK_MSG(std::isfinite(t) && t >= 0.0,
+                    "arrival trace line " << line_no
+                                          << " has invalid timestamp " << t);
+    PCNNA_CHECK_MSG(t >= prev,
+                    "arrival trace line "
+                        << line_no << " at t=" << t
+                        << " precedes the previous arrival at t=" << prev
+                        << " (trace must be nondecreasing)");
+    prev = t;
     arrivals.push_back(t);
   }
-  validate_arrival_schedule(arrivals);
   return arrivals;
 }
 

@@ -57,8 +57,9 @@ ArrivalSchedule uniform_arrivals(std::size_t count, double rate_rps);
 
 /// Parse a trace: one arrival timestamp (simulated seconds, decimal or
 /// scientific notation) per line; blank lines and lines starting with '#'
-/// are ignored. Throws pcnna::Error on malformed lines or an invalid
-/// schedule (validate_arrival_schedule).
+/// are ignored. Throws pcnna::Error on malformed, non-finite, negative, or
+/// out-of-order timestamps, naming the offending 1-based trace line (not
+/// the schedule index — comments and blanks shift the two apart).
 ArrivalSchedule parse_arrival_trace(std::istream& in);
 
 /// parse_arrival_trace over the contents of `path`. Throws on I/O failure.

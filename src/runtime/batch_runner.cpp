@@ -81,7 +81,8 @@ std::uint32_t BatchRunner::register_model(nn::Network net,
 std::vector<RequestResult> BatchRunner::serve(
     std::vector<InferenceRequest> requests,
     const std::vector<ScheduledService>& schedule, bool simulate_values) {
-  if (pool_.homogeneous() && !options_.shed_expired) {
+  if (pool_.homogeneous() && !options_.shed_expired &&
+      !options_.faults.enabled()) {
     // Dynamic sharding: any PCU computes the same bits for a request, so
     // the fastest host thread simply grabs the next one.
     const std::size_t batch = requests.size();
@@ -92,8 +93,9 @@ std::vector<RequestResult> BatchRunner::serve(
   }
   // Heterogeneous: the scheduled PCU's device model must produce each
   // output, so the physical assignment follows the virtual-time schedule.
-  // With shedding the schedule also decides *which* requests run at all,
-  // so a homogeneous pool follows it too (shed ids stay placeholders).
+  // With shedding or fault injection the schedule also decides *which*
+  // requests run at all, so a homogeneous pool follows it too (shed and
+  // fault-lost ids stay placeholders).
   return pool_.serve_scheduled(std::move(requests), schedule, simulate_values);
 }
 
@@ -105,15 +107,18 @@ std::vector<RequestResult> BatchRunner::run(
   // degenerate all-at-t=0 arrival process, so the same admission loop
   // that prices open-loop serving prices it. A homogeneous fleet without a
   // report skips it (dynamic sharding needs no assignment).
-  std::vector<ScheduledService> schedule;
-  if (!pool_.homogeneous() || report || options_.shed_expired)
-    schedule = simulate_admission_result(closed_batch_arrivals(batch), {}, {})
-                   .schedule;
+  AdmissionResult admission;
+  if (!pool_.homogeneous() || report || options_.shed_expired ||
+      options_.faults.enabled())
+    admission = simulate_admission_result(closed_batch_arrivals(batch), {}, {});
+  const std::vector<ScheduledService>& schedule = admission.schedule;
 
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<RequestResult> results = serve(
       make_requests(inputs, {}, {}, {}), schedule, options_.simulate_values);
   const auto wall_end = std::chrono::steady_clock::now();
+  for (const RequestLoss& l : admission.fault.losses)
+    results[static_cast<std::size_t>(l.id)].failed = true;
 
   if (report) {
     const Pcu& reference = pool_.pcu(0);
@@ -197,7 +202,8 @@ std::vector<RequestResult> BatchRunner::run_open_loop(
   // schedule's PCU assignment, so outputs are still deterministic. With
   // shedding the schedule is always needed: it decides which requests run.
   AdmissionResult admission;
-  if (!pool_.homogeneous() || report || options_.shed_expired)
+  if (!pool_.homogeneous() || report || options_.shed_expired ||
+      options_.faults.enabled())
     admission = simulate_admission_result(arrivals, slos, models);
 
   const std::size_t batch = inputs.size();
@@ -208,6 +214,8 @@ std::vector<RequestResult> BatchRunner::run_open_loop(
   const auto wall_end = std::chrono::steady_clock::now();
   for (const ShedDecision& d : admission.shed.decisions)
     results[static_cast<std::size_t>(d.id)].shed = true;
+  for (const RequestLoss& l : admission.fault.losses)
+    results[static_cast<std::size_t>(l.id)].failed = true;
 
   if (report) {
     OpenLoopReport r = summarize_schedule(admission, arrivals);
@@ -279,6 +287,7 @@ AdmissionResult BatchRunner::simulate_admission_result(
   admission.policy = options_.dispatch;
   admission.shed_expired = options_.shed_expired;
   admission.autoscaler = options_.autoscaler;
+  admission.faults = options_.faults;
   return pool_.simulate_admission(queue, admission);
 }
 
@@ -310,7 +319,10 @@ OpenLoopReport BatchRunner::summarize_schedule(
   r.pcus = pool_.size();
   r.served_requests = schedule.size();
   r.shed_requests = admission.shed.shed;
-  r.requests = r.served_requests + r.shed_requests; // offered
+  r.failed_requests = admission.fault.losses.size();
+  r.fault = admission.fault;
+  r.requests =
+      r.served_requests + r.shed_requests + r.failed_requests; // offered
   r.shed_rate = r.requests == 0
                     ? 0.0
                     : static_cast<double>(r.shed_requests) /
@@ -334,6 +346,7 @@ OpenLoopReport BatchRunner::summarize_schedule(
 
   std::vector<double> latencies;
   std::vector<double> waits;
+  std::vector<double> retry_latencies;
   latencies.reserve(schedule.size());
   waits.reserve(schedule.size());
   double wait_sum = 0.0;
@@ -341,6 +354,10 @@ OpenLoopReport BatchRunner::summarize_schedule(
     latencies.push_back(s.completion - s.arrival);
     waits.push_back(s.start - s.arrival);
     wait_sum += s.start - s.arrival;
+    // A served request that needed retries carries its original arrival,
+    // so its sojourn includes every destroyed attempt and backoff delay —
+    // the latency tail fault tolerance adds.
+    if (s.attempts > 1) retry_latencies.push_back(s.completion - s.arrival);
   }
   // Shed requests sat in the queue from arrival to the shed decision;
   // that residency is real queue occupancy even though they were never
@@ -350,8 +367,14 @@ OpenLoopReport BatchRunner::summarize_schedule(
     wait_sum += d.decision_time - d.arrival;
   r.latency = summarize_distribution(std::move(latencies));
   r.queue_wait = summarize_distribution(std::move(waits));
+  r.retry_latency = summarize_distribution(std::move(retry_latencies));
 
   r.makespan = fill_breakdowns(schedule, r.per_pcu);
+  for (std::size_t p = 0;
+       p < r.per_pcu.size() && p < admission.fault.per_pcu.size(); ++p) {
+    r.per_pcu[p].lost_attempts = admission.fault.per_pcu[p].lost_attempts;
+    r.per_pcu[p].lost_time = admission.fault.per_pcu[p].lost_time;
+  }
   r.virtual_requests_per_pcu.resize(r.pcus);
   r.utilization_per_pcu.resize(r.pcus);
   for (std::size_t p = 0; p < r.pcus; ++p) {
@@ -395,6 +418,13 @@ OpenLoopReport BatchRunner::summarize_schedule(
       t.requests += 1;
       t.shed += 1;
       t.slo_misses += 1; // a shed request never meets its SLO
+    }
+    for (const RequestLoss& l : admission.fault.losses) {
+      TenantBreakdown& t = tenants[l.tenant];
+      t.tenant = l.tenant;
+      t.requests += 1;
+      t.failed += 1;
+      t.slo_misses += 1; // a destroyed request never meets its SLO
     }
     std::size_t misses = 0;
     for (auto& [tenant, t] : tenants) {
@@ -537,6 +567,29 @@ void BatchRunner::print_report(const OpenLoopReport& report, std::ostream& os,
                    std::to_string(report.model_swaps) + " (" +
                        format_time(report.model_swap_time) + ")"});
   }
+  if (report.fault.injections > 0) {
+    table.add_separator();
+    table.add_row({"fault injections",
+                   std::to_string(report.fault.injections)});
+    table.add_row({"crash losses",
+                   std::to_string(report.fault.crash_losses)});
+    table.add_row({"transient corruptions",
+                   std::to_string(report.fault.transient_corruptions)});
+    table.add_row({"retries", std::to_string(report.fault.retries)});
+    table.add_row({"recovered requests",
+                   std::to_string(report.fault.recovered_requests)});
+    table.add_row({"failed requests",
+                   std::to_string(report.failed_requests)});
+    table.add_row({"quarantines",
+                   std::to_string(report.fault.quarantines)});
+    table.add_row({"repairs",
+                   std::to_string(report.fault.repairs) + " (" +
+                       format_time(report.fault.repair_time) + ")"});
+    table.add_row({"plan epoch bumps",
+                   std::to_string(report.fault.plan_epoch_bumps)});
+    table.add_row({"retry latency p99",
+                   format_time(report.retry_latency.p99)});
+  }
   if (report.autoscaler.scale_ups > 0 || report.autoscaler.scale_downs > 0 ||
       (report.autoscaler.mean_active > 0.0 &&
        report.autoscaler.mean_active !=
@@ -555,17 +608,33 @@ void BatchRunner::print_report(const OpenLoopReport& report, std::ostream& os,
   table.print(os, title);
 
   if (!report.per_tenant.empty()) {
-    TextTable tenants({"tenant", "requests", "served", "shed",
+    TextTable tenants({"tenant", "requests", "served", "shed", "failed",
                        "SLO attainment", "latency p99"});
     for (const TenantBreakdown& t : report.per_tenant)
       tenants.add_row({std::to_string(t.tenant), std::to_string(t.requests),
                        std::to_string(t.served), std::to_string(t.shed),
+                       std::to_string(t.failed),
                        format_fixed(100.0 * t.slo_attainment, 2) + " %",
                        format_time(t.latency.p99)});
     tenants.print(os, "per-tenant SLO");
   }
 
   print_breakdowns(report.per_pcu, os);
+
+  if (report.fault.injections > 0 && !report.fault.per_pcu.empty()) {
+    TextTable health({"virtual PCU", "transients", "degrades", "crashes",
+                      "quarantines", "repairs", "lost attempts",
+                      "availability"});
+    for (std::size_t p = 0; p < report.fault.per_pcu.size(); ++p) {
+      const PcuHealthStats& h = report.fault.per_pcu[p];
+      health.add_row({std::to_string(p), std::to_string(h.transients),
+                      std::to_string(h.degrades), std::to_string(h.crashes),
+                      std::to_string(h.quarantines), std::to_string(h.repairs),
+                      std::to_string(h.lost_attempts),
+                      format_fixed(100.0 * h.availability, 2) + " %"});
+    }
+    health.print(os, "per-PCU health");
+  }
 }
 
 } // namespace pcnna::runtime

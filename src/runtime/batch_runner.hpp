@@ -86,6 +86,11 @@ struct BatchRunnerOptions {
   /// Elastic fleet sizing of the admission loop (see AutoscalerPolicy);
   /// disabled by default — the whole fleet is always active.
   AutoscalerPolicy autoscaler;
+  /// Fault injection + tolerance (runtime/fault_plan.hpp): a non-empty
+  /// faults.schedule turns on health tracking, retry with backoff, and
+  /// quarantine/repair in the admission loop. The default (empty schedule)
+  /// keeps every serving path bit-identical to a fault-free build.
+  FaultOptions faults;
   /// Base seed; per-request engine seeds derive from it (SplitMix64), so
   /// the whole batch is reproducible from this one number.
   std::uint64_t seed = 1;
@@ -118,6 +123,12 @@ struct PcuBreakdown {
   std::size_t swaps = 0;
   /// Portion of busy_time spent on those swaps [s].
   double swap_time = 0.0;
+  /// Service attempts injected faults destroyed on this PCU (crash losses
+  /// plus corrupted transients; 0 on fault-free runs).
+  std::size_t lost_attempts = 0;
+  /// Service time those lost attempts burned before dying [s]. Not part of
+  /// busy_time: the schedule only keeps attempts that completed.
+  double lost_time = 0.0;
 };
 
 /// Fleet-level serving summary. All times are simulated hardware seconds
@@ -182,7 +193,9 @@ struct TenantBreakdown {
   std::size_t requests = 0;
   std::size_t served = 0;
   std::size_t shed = 0;
-  /// Served-late plus shed.
+  /// Requests injected faults permanently destroyed (0 without faults).
+  std::size_t failed = 0;
+  /// Served-late plus shed plus fault-failed.
   std::size_t slo_misses = 0;
   /// (requests - slo_misses) / requests; 1.0 for an empty tenant.
   double slo_attainment = 1.0;
@@ -240,7 +253,8 @@ struct OpenLoopReport {
   // --- SLO-aware serving (meaningful when the run carried tenants,
   // deadlines, or shedding; trivial defaults otherwise) ---
 
-  /// Requests actually dispatched to a PCU (= requests - shed_requests).
+  /// Requests that actually completed on a PCU
+  /// (= requests - shed_requests - failed_requests).
   std::size_t served_requests = 0;
   /// Requests load shedding rejected.
   std::size_t shed_requests = 0;
@@ -263,6 +277,19 @@ struct OpenLoopReport {
   std::size_t model_swaps = 0;
   /// Fleet-total time spent on those swaps [s].
   double model_swap_time = 0.0;
+
+  // --- Fault tolerance (trivial on a run without injected faults) ---
+
+  /// Requests injected faults permanently destroyed — every budgeted retry
+  /// was lost (or the whole fleet died). Placeholder results carry
+  /// RequestResult::failed. requests = served + shed + failed.
+  std::size_t failed_requests = 0;
+  /// Sojourn latency of served requests that needed at least one retry [s]
+  /// — the tail the fault tolerance machinery adds.
+  DistributionSummary retry_latency;
+  /// Full fault-injection outcome: injections, losses, retries,
+  /// quarantine/repair counts, and per-PCU health/availability.
+  FaultReport fault;
 
   /// Host seconds spent on the call (0 for simulate_open_loop, which does
   /// no functional work).

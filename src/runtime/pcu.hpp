@@ -88,6 +88,11 @@ struct RequestResult {
   /// carries id, model_id, and tenant so per-tenant/per-model accounting
   /// stays correct.
   bool shed = false;
+  /// True when injected faults permanently destroyed the request: every
+  /// retry budgeted for it was lost to crashes/corruption (or the whole
+  /// fleet died), so the slot is a placeholder like a shed one — empty
+  /// output, zero times/energy, but id/model_id/tenant intact.
+  bool failed = false;
   /// Registered model the request targeted (valid on shed placeholders too).
   std::uint32_t model_id = 0;
   /// Owning tenant, carried through from the InferenceRequest (valid on
@@ -120,6 +125,12 @@ class Pcu {
   const PcuStats& stats() const { return stats_; }
   WarmupPolicy warmup_policy() const { return warmup_policy_; }
   const std::string& tag() const { return tag_; }
+  /// This PCU's hardware model (with any engine-thread override applied).
+  /// With fidelity(), identifies the PCU's plan-cache configuration key
+  /// (core::plan_config_key) — the fault-tolerant admission loop bumps that
+  /// key's recalibration epoch when a repair re-trims this PCU's banks.
+  const core::PcnnaConfig& config() const { return config_; }
+  core::TimingFidelity fidelity() const { return fidelity_; }
 
   /// Register another model this PCU can be programmed with (borrowed;
   /// must outlive the Pcu). Returns the new model id (dense, starting at

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/planner.hpp"
 
 namespace pcnna::runtime {
 
@@ -199,6 +200,9 @@ struct PendingRequest {
   PriorityClass priority = PriorityClass::kStandard;
   double deadline = std::numeric_limits<double>::infinity();
   std::uint32_t model = 0;
+  /// 1-based service attempt the next dispatch of this request will be;
+  /// bumped by the fault machinery's retry path, 1 everywhere else.
+  std::uint32_t attempts = 1;
 };
 
 /// Sentinel for a PCU whose weight banks have never been programmed: its
@@ -224,6 +228,38 @@ struct UrgencyOrder {
   }
 };
 
+/// One request parked between loss detection and re-enqueue — the fault
+/// machinery's retry queue, ordered by when the backoff expires.
+struct RetryEntry {
+  double ready = 0.0; ///< virtual time the retry re-enters the pending set
+  PendingRequest req;
+};
+
+struct RetryOrder {
+  bool operator()(const RetryEntry& a, const RetryEntry& b) const {
+    if (a.ready != b.ready) return a.ready < b.ready;
+    return a.req.id < b.req.id; // ids are unique: strict weak order
+  }
+};
+
+/// The attempt currently occupying one PCU in virtual time — the fault
+/// machinery's answer to "who dies if this PCU fails right now".
+struct Inflight {
+  bool valid = false;
+  std::size_t sched_index = 0; ///< index into the uncompacted schedule
+  double completion = 0.0;
+  PendingRequest req;
+};
+
+/// Pending health-system action on one PCU (at most one at a time; a crash
+/// supersedes whatever was pending).
+enum class TimerKind : unsigned char {
+  kNone,
+  kDetectCrash,   ///< crash noticed: pull the dead PCU from dispatch
+  kDetectDegrade, ///< drift noticed: enter quarantine, schedule the repair
+  kRepairDone,    ///< quarantine repair complete: rejoin healthy
+};
+
 } // namespace
 
 AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
@@ -247,6 +283,38 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
                         << min_active << ", " << max_active << "]");
   }
 
+  // Fault machinery (see fault_plan.hpp). fault_active == false is the
+  // contract that every code path below is bit-identical to the pre-fault
+  // loop: all fault state is inert and every fault branch is guarded.
+  const FaultOptions& faults = options.faults;
+  const bool fault_active = faults.enabled();
+  if (fault_active) {
+    validate_fault_schedule(faults.schedule);
+    for (std::size_t i = 0; i < faults.schedule.size(); ++i) {
+      PCNNA_CHECK_MSG(faults.schedule[i].pcu < pcus_.size(),
+                      "fault event " << i << " targets PCU "
+                                     << faults.schedule[i].pcu
+                                     << " but the fleet has " << pcus_.size()
+                                     << " PCUs");
+    }
+    PCNNA_CHECK_MSG(std::isfinite(faults.detection_latency) &&
+                        faults.detection_latency >= 0.0,
+                    "fault detection latency must be finite and >= 0, got "
+                        << faults.detection_latency);
+    PCNNA_CHECK_MSG(std::isfinite(faults.repair_time) &&
+                        faults.repair_time >= 0.0,
+                    "fault repair time must be finite and >= 0, got "
+                        << faults.repair_time);
+    PCNNA_CHECK_MSG(std::isfinite(faults.retry.backoff_base) &&
+                        faults.retry.backoff_base >= 0.0,
+                    "retry backoff base must be finite and >= 0, got "
+                        << faults.retry.backoff_base);
+    PCNNA_CHECK_MSG(std::isfinite(faults.retry.backoff_factor) &&
+                        faults.retry.backoff_factor >= 1.0,
+                    "retry backoff factor must be finite and >= 1, got "
+                        << faults.retry.backoff_factor);
+  }
+
   AdmissionResult result;
   std::vector<double> free_at(pcus_.size(), 0.0);
   std::vector<std::size_t> served(pcus_.size(), 0);
@@ -260,6 +328,24 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
   std::vector<double> activated_at(pcus_.size(), 0.0);
   std::size_t active_count = scaler.enabled ? min_active : pcus_.size();
   for (std::size_t p = 0; p < active_count; ++p) active[p] = 1;
+
+  // Per-PCU health state (inert without faults).
+  std::vector<HealthState> health(pcus_.size(), HealthState::kHealthy);
+  std::vector<double> degrade_mult(pcus_.size(), 1.0);
+  // Pulled from dispatch: quarantined, or failed once detection fires.
+  std::vector<unsigned char> excluded(pcus_.size(), 0);
+  std::vector<double> health_since(pcus_.size(), 0.0);
+  std::vector<TimerKind> timer_kind(pcus_.size(), TimerKind::kNone);
+  std::vector<double> timer_at(pcus_.size(),
+                               std::numeric_limits<double>::infinity());
+  std::vector<Inflight> inflight(pcus_.size());
+  // Tombstones parallel to result.schedule (maintained only when
+  // fault_active): destroyed attempts stay in place until the final stable
+  // compaction so in-flight bookkeeping can index the schedule directly.
+  std::vector<unsigned char> cancelled;
+  std::set<RetryEntry, RetryOrder> retries;
+  std::size_t fault_cursor = 0;
+  if (fault_active) result.fault.per_pcu.resize(pcus_.size());
 
   // Pipeline-fill charge for dispatching model m to PCU p at `start`, per
   // that PCU's warmup policy. Zero on the serial schedule: without double
@@ -297,15 +383,24 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
     return double_buffer && programmed[p] != kNoModel && programmed[p] != m;
   };
 
+  // Calibration-drift inflation: a degraded PCU's whole service span is
+  // stretched by its worst unrepaired degrade severity. 1.0 (always,
+  // without faults) multiplies every span bit-identically.
+  const auto degrade_factor = [&](std::size_t p) -> double {
+    return fault_active ? degrade_mult[p] : 1.0;
+  };
+
   // Truthful service span on PCU p for a model-m request starting at
   // `start`, swap included: exactly what dispatch() will charge. Used for
   // the actual charge, shed decisions, and kModelAffinity's scoring.
   const auto true_service = [&](std::size_t p, std::uint32_t m,
                                 double start) -> double {
-    if (!double_buffer) return pcus_[p].request_time_serial(m);
-    return pcus_[p].request_interval_overlapped(m) +
-           (would_swap(p, m) ? pcus_[p].swap_time(m)
-                             : warmup_charge(p, m, start));
+    if (!double_buffer)
+      return pcus_[p].request_time_serial(m) * degrade_factor(p);
+    return (pcus_[p].request_interval_overlapped(m) +
+            (would_swap(p, m) ? pcus_[p].swap_time(m)
+                              : warmup_charge(p, m, start))) *
+           degrade_factor(p);
   };
 
   // Model-blind service span: the legacy policies' completion score, which
@@ -315,9 +410,98 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
   // measures). Identical to true_service on a single-model stream.
   const auto blind_service = [&](std::size_t p, std::uint32_t m,
                                  double start) -> double {
-    if (!double_buffer) return pcus_[p].request_time_serial(m);
-    return pcus_[p].request_interval_overlapped(m) +
-           warmup_charge(p, m, start);
+    if (!double_buffer)
+      return pcus_[p].request_time_serial(m) * degrade_factor(p);
+    return (pcus_[p].request_interval_overlapped(m) +
+            warmup_charge(p, m, start)) *
+           degrade_factor(p);
+  };
+
+  // --- fault helpers (all no-ops / unreachable when !fault_active) ---
+
+  // Close the current health-state dwell bucket of PCU p at time t.
+  const auto close_health = [&](std::size_t p, double t) {
+    const double dt = t - health_since[p];
+    if (dt > 0.0) {
+      PcuHealthStats& hs = result.fault.per_pcu[p];
+      switch (health[p]) {
+        case HealthState::kHealthy: hs.healthy_time += dt; break;
+        case HealthState::kDegraded: hs.degraded_time += dt; break;
+        case HealthState::kQuarantined: hs.quarantined_time += dt; break;
+        case HealthState::kFailed: hs.failed_time += dt; break;
+      }
+      health_since[p] = t;
+    }
+  };
+
+  // A completed repair re-trims PCU p's weight banks: lazily invalidate
+  // every calibration artifact planned for its configuration.
+  const auto bump_plan_epoch = [&](std::size_t p) {
+    if (faults.plan_cache == nullptr) return;
+    faults.plan_cache->bump_epoch(
+        core::plan_config_key(pcus_[p].config(), pcus_[p].fidelity()));
+    result.fault.plan_epoch_bumps += 1;
+  };
+
+  // Fastest base service any PCU offers for model m — the bound behind
+  // deadline-aware backoff (a retry sleeping past deadline - this can
+  // never succeed).
+  const auto fleet_min_service = [&](std::uint32_t m) -> double {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < pcus_.size(); ++p) {
+      best = std::min(best, double_buffer
+                                ? pcus_[p].request_interval_overlapped(m)
+                                : pcus_[p].request_time_serial(m));
+    }
+    return best;
+  };
+
+  // A destroyed attempt of `req` was detected at `detect`: re-enqueue it
+  // with exponential backoff if the budget allows, else record the
+  // permanent loss. The backoff is capped so the retry could still start
+  // early enough to meet a finite deadline on the fastest capable PCU.
+  const auto schedule_retry = [&](const PendingRequest& req, double detect) {
+    if (!faults.health_aware || req.attempts > faults.retry.max_retries) {
+      result.fault.lost_requests += 1;
+      result.fault.losses.push_back({req.id, req.tenant, req.priority,
+                                     req.arrival, detect, req.attempts});
+      return;
+    }
+    double delay = faults.retry.backoff_base;
+    for (std::uint32_t k = 1; k < req.attempts; ++k)
+      delay *= faults.retry.backoff_factor;
+    double ready = detect + delay;
+    if (std::isfinite(req.deadline)) {
+      ready = std::max(detect,
+                       std::min(ready, req.deadline -
+                                           fleet_min_service(req.model)));
+    }
+    PendingRequest next = req;
+    next.attempts += 1;
+    retries.insert({ready, next});
+    result.fault.retries += 1;
+  };
+
+  // Destroy one dispatched attempt: tombstone its schedule entry, record
+  // it, and route the request into retry (or permanent loss). `end` is
+  // when the PCU time was wasted until; `detect` is when the loss becomes
+  // known (the retry clock's start).
+  const auto lose_attempt = [&](const PendingRequest& req,
+                                std::size_t sched_index, std::size_t p,
+                                FaultKind kind, double end, double detect) {
+    cancelled[sched_index] = 1;
+    result.fault.attempts.push_back(
+        {req.id, p, result.schedule[sched_index].start, end, kind,
+         req.attempts});
+    result.fault.per_pcu[p].lost_attempts += 1;
+    result.fault.per_pcu[p].lost_time +=
+        end - result.schedule[sched_index].start;
+    if (kind == FaultKind::kCrash) {
+      result.fault.crash_losses += 1;
+    } else {
+      result.fault.transient_corruptions += 1;
+    }
+    schedule_retry(req, detect);
   };
 
   // Commit one dispatch: charge service on PCU p starting at `start`
@@ -329,9 +513,10 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
     const double swap = swapped ? pcus_[p].swap_time(r.model) : 0.0;
     const double warmup = swapped ? 0.0 : warmup_charge(p, r.model, start);
     const double service =
-        double_buffer
-            ? pcus_[p].request_interval_overlapped(r.model) + swap + warmup
-            : pcus_[p].request_time_serial(r.model);
+        (double_buffer
+             ? pcus_[p].request_interval_overlapped(r.model) + swap + warmup
+             : pcus_[p].request_time_serial(r.model)) *
+        degrade_factor(p);
     const double completion = start + service;
     free_at[p] = completion;
     served[p] += 1;
@@ -339,7 +524,21 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
     programmed[p] = r.model;
     result.schedule.push_back({r.id, p, r.arrival, start, completion, warmup,
                                r.tenant, r.priority, r.deadline, r.model,
-                               swap, swapped});
+                               swap, swapped, r.attempts});
+    if (fault_active) {
+      cancelled.push_back(0);
+      const std::size_t idx = result.schedule.size() - 1;
+      if (health[p] == HealthState::kFailed) {
+        // Black hole: the PCU is dead (fault-blind dispatch, or
+        // health-aware inside the detection window). The dispatcher only
+        // learns at the predicted completion that the request never came
+        // back.
+        lose_attempt(r, idx, p, FaultKind::kCrash, completion, completion);
+        inflight[p].valid = false;
+      } else {
+        inflight[p] = {true, idx, completion, r};
+      }
+    }
   };
 
   // Per-model capability: under kCapabilityAware (and kModelAffinity's
@@ -370,7 +569,8 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
 
   const bool deferred = policy == DispatchPolicy::kEdf ||
                         policy == DispatchPolicy::kModelAffinity ||
-                        options.shed_expired || scaler.enabled;
+                        options.shed_expired || scaler.enabled ||
+                        fault_active;
 
   if (!deferred) {
     // Eager mode — the pre-SLO code path, kept bit-identical. Dispatching
@@ -450,6 +650,216 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
     now = std::max(now, t);
   };
 
+  // --- fault event machinery (only reached when fault_active) ---
+
+  // Fire the pending health-system timer of PCU p at its due time t.
+  const auto fire_timer = [&](std::size_t p, double t) {
+    const TimerKind kind = timer_kind[p];
+    timer_kind[p] = TimerKind::kNone;
+    timer_at[p] = std::numeric_limits<double>::infinity();
+    switch (kind) {
+      case TimerKind::kNone:
+        return;
+      case TimerKind::kDetectCrash:
+        // The health system notices the crash: pull the dead PCU from
+        // dispatch. (A recovery before detection clears this timer.)
+        if (health[p] == HealthState::kFailed) excluded[p] = 1;
+        return;
+      case TimerKind::kDetectDegrade: {
+        if (health[p] != HealthState::kDegraded) return;
+        // Quarantine: out of dispatch, drain the in-flight request, then
+        // pay the full repair recalibration (fixed repair time plus the
+        // full serial reprogram of whatever model is in the banks).
+        close_health(p, t);
+        health[p] = HealthState::kQuarantined;
+        excluded[p] = 1;
+        result.fault.quarantines += 1;
+        result.fault.per_pcu[p].quarantines += 1;
+        const std::uint32_t m =
+            programmed[p] == kNoModel ? 0u : programmed[p];
+        const double repair_start = std::max(t, free_at[p]);
+        const double repair_end =
+            repair_start + faults.repair_time + pcus_[p].swap_time(m);
+        result.fault.repair_time += repair_end - repair_start;
+        free_at[p] = std::max(free_at[p], repair_end);
+        timer_kind[p] = TimerKind::kRepairDone;
+        timer_at[p] = repair_end;
+        return;
+      }
+      case TimerKind::kRepairDone:
+        // Rejoin healthy with freshly re-trimmed, unprogrammed banks: the
+        // next dispatch recalibrates from cold, and every calibration
+        // artifact planned for this configuration goes stale.
+        close_health(p, t);
+        health[p] = HealthState::kHealthy;
+        excluded[p] = 0;
+        degrade_mult[p] = 1.0;
+        programmed[p] = kNoModel;
+        force_cold[p] = 1;
+        result.fault.repairs += 1;
+        result.fault.per_pcu[p].repairs += 1;
+        bump_plan_epoch(p);
+        return;
+    }
+    throw Error("invalid TimerKind");
+  };
+
+  // Apply one FaultEvent at its timestamp.
+  const auto apply_fault = [&](const FaultEvent& e) {
+    result.fault.injections += 1;
+    const std::size_t p = e.pcu;
+    switch (e.kind) {
+      case FaultKind::kTransient: {
+        result.fault.per_pcu[p].transients += 1;
+        if (health[p] == HealthState::kFailed) return; // nothing to corrupt
+        const Inflight fl = inflight[p];
+        if (fl.valid && fl.completion > e.time &&
+            !cancelled[fl.sched_index]) {
+          // The victim runs to its scheduled completion (occupying the
+          // PCU) but its output is corrupt — detected at completion, when
+          // the retry clock starts.
+          lose_attempt(fl.req, fl.sched_index, p, FaultKind::kTransient,
+                       fl.completion, fl.completion);
+          inflight[p].valid = false;
+        }
+        return;
+      }
+      case FaultKind::kDegrade: {
+        if (health[p] == HealthState::kFailed) return; // dead already
+        result.fault.per_pcu[p].degrades += 1;
+        degrade_mult[p] = std::max(degrade_mult[p], e.severity);
+        if (health[p] == HealthState::kHealthy) {
+          close_health(p, e.time);
+          health[p] = HealthState::kDegraded;
+        }
+        // Already-quarantined PCUs are being repaired anyway; an earlier
+        // pending detection keeps its (earlier) due time.
+        if (faults.health_aware && health[p] == HealthState::kDegraded &&
+            timer_kind[p] == TimerKind::kNone) {
+          timer_kind[p] = TimerKind::kDetectDegrade;
+          timer_at[p] = e.time + faults.detection_latency;
+        }
+        return;
+      }
+      case FaultKind::kCrash: {
+        result.fault.per_pcu[p].crashes += 1;
+        if (health[p] == HealthState::kFailed) return; // dead already
+        close_health(p, e.time);
+        health[p] = HealthState::kFailed;
+        // A crash supersedes any pending detection and aborts a repair in
+        // progress (the repair never completes: no repairs count, no
+        // epoch bump — the banks were never re-trimmed).
+        timer_kind[p] = TimerKind::kNone;
+        timer_at[p] = std::numeric_limits<double>::infinity();
+        if (faults.health_aware) {
+          timer_kind[p] = TimerKind::kDetectCrash;
+          timer_at[p] = e.time + faults.detection_latency;
+        }
+        const Inflight fl = inflight[p];
+        if (fl.valid && fl.completion > e.time &&
+            !cancelled[fl.sched_index]) {
+          // The in-flight request dies at fault time; the loss is noticed
+          // after the detection latency.
+          lose_attempt(fl.req, fl.sched_index, p, FaultKind::kCrash, e.time,
+                       e.time + faults.detection_latency);
+          inflight[p].valid = false;
+        }
+        return;
+      }
+      case FaultKind::kRecover:
+        // External repair: back in service healthy, banks freshly
+        // re-trimmed and unprogrammed (a mid-quarantine recover completes
+        // the repair early; a recover on a healthy PCU is an external
+        // re-trim — both count as a repair and bump the epoch).
+        close_health(p, e.time);
+        health[p] = HealthState::kHealthy;
+        excluded[p] = 0;
+        degrade_mult[p] = 1.0;
+        programmed[p] = kNoModel;
+        force_cold[p] = 1;
+        free_at[p] = std::max(free_at[p], e.time);
+        timer_kind[p] = TimerKind::kNone;
+        timer_at[p] = std::numeric_limits<double>::infinity();
+        result.fault.repairs += 1;
+        result.fault.per_pcu[p].repairs += 1;
+        bump_plan_epoch(p);
+        return;
+    }
+    throw Error("invalid FaultKind");
+  };
+
+  // Earliest pending health timer (ties: lowest PCU index).
+  const auto next_timer = [&]() -> std::pair<double, std::size_t> {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t who = pcus_.size();
+    for (std::size_t p = 0; p < pcus_.size(); ++p) {
+      if (timer_at[p] < best) {
+        best = timer_at[p];
+        who = p;
+      }
+    }
+    return {best, who};
+  };
+
+  const auto next_fault_time = [&]() -> double {
+    return fault_cursor < faults.schedule.size()
+               ? faults.schedule[fault_cursor].time
+               : std::numeric_limits<double>::infinity();
+  };
+
+  // Earliest instant the health system acts next (timer or injection).
+  const auto next_health_event = [&]() -> double {
+    return std::min(next_timer().first, next_fault_time());
+  };
+
+  // Process every health timer and fault event due by `t`, each at its own
+  // timestamp (timers first on exact ties: detection/repair outcomes must
+  // be visible to a fault striking at the same instant).
+  const auto process_events_to = [&](double t) {
+    while (true) {
+      const auto [tt, tp] = next_timer();
+      const double ft = next_fault_time();
+      if (tt <= ft) {
+        if (tt > t) break;
+        advance_to(tt);
+        fire_timer(tp, tt);
+      } else {
+        if (ft > t) break;
+        advance_to(ft);
+        apply_fault(faults.schedule[fault_cursor]);
+        fault_cursor += 1;
+      }
+    }
+  };
+
+  // Every clock advance of the event-driven loop goes through here so
+  // faults strike in order, at their own timestamps, before the loop acts
+  // at `t`. Identical to advance_to when no faults are injected.
+  const auto step_to = [&](double t) {
+    if (fault_active) process_events_to(t);
+    advance_to(t);
+  };
+
+  // Drain every permanently-undispatchable request into the loss record —
+  // the fleet died (or stayed incapable) with them still waiting and no
+  // future event can change that.
+  const auto drain_all_lost = [&](std::set<PendingRequest, UrgencyOrder>&
+                                      pending_set) {
+    for (const PendingRequest& r : pending_set) {
+      result.fault.lost_requests += 1;
+      result.fault.losses.push_back(
+          {r.id, r.tenant, r.priority, r.arrival, now, r.attempts - 1});
+    }
+    pending_set.clear();
+    for (const RetryEntry& e : retries) {
+      result.fault.lost_requests += 1;
+      result.fault.losses.push_back({e.req.id, e.req.tenant, e.req.priority,
+                                     e.req.arrival, now,
+                                     e.req.attempts - 1});
+    }
+    retries.clear();
+  };
+
   // Shrink: deactivate PCUs idle at least shrink_after_idle, highest
   // index first, never below min_active. A busy PCU (free_at > now) has
   // negative idle time and is never touched.
@@ -473,8 +883,12 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
     while (active_count < max_active &&
            static_cast<double>(pending.size()) >
                scaler.backlog_per_pcu * static_cast<double>(active_count)) {
+      // Skip health-excluded PCUs: activating a quarantined or
+      // detected-dead PCU would waste the slot (excluded is always clear
+      // without fault injection).
       std::size_t p = 0;
-      while (active[p]) ++p;
+      while (p < pcus_.size() && (active[p] || excluded[p])) ++p;
+      if (p == pcus_.size()) break; // every inactive PCU is unhealthy
       active[p] = 1;
       force_cold[p] = 1;
       activated_at[p] = now;
@@ -485,6 +899,16 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
 
   InferenceRequest request;
   while (true) {
+    // Re-enqueue retries whose backoff has expired: they re-enter the
+    // pending set with their original arrival (and id, hence seed) and
+    // compete under the normal urgency order.
+    if (fault_active) {
+      while (!retries.empty() && retries.begin()->ready <= now) {
+        pending.insert(retries.begin()->req);
+        retries.erase(retries.begin());
+      }
+    }
+
     // Admit everything that has arrived by `now` into the pending set.
     while (queue.pop_arrived(now, request)) {
       check_model(request);
@@ -494,9 +918,25 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
     }
 
     if (pending.empty()) {
-      double next = 0.0;
-      if (!queue.next_arrival(next)) break; // drained: done
-      advance_to(next);
+      double next = std::numeric_limits<double>::infinity();
+      double na = 0.0;
+      if (queue.next_arrival(na)) next = na;
+      if (fault_active) {
+        if (!retries.empty()) next = std::min(next, retries.begin()->ready);
+        // Faults can still destroy work in flight: process health events
+        // up to the latest in-flight completion. Events past it are past
+        // the end of the simulated timeline and never fire.
+        double in_flight_until = -std::numeric_limits<double>::infinity();
+        for (std::size_t p = 0; p < pcus_.size(); ++p) {
+          if (inflight[p].valid && !cancelled[inflight[p].sched_index])
+            in_flight_until =
+                std::max(in_flight_until, inflight[p].completion);
+        }
+        const double ev = next_health_event();
+        if (ev <= in_flight_until) next = std::min(next, ev);
+      }
+      if (!std::isfinite(next)) break; // drained: done
+      step_to(next);
       continue;
     }
 
@@ -506,25 +946,54 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
     }
 
     // The next dispatch opportunity: the earliest instant an eligible
-    // (active and capable-of-some-model) PCU is free.
+    // (active, not health-excluded, capable-of-some-model) PCU is free.
     double free_time = std::numeric_limits<double>::infinity();
     for (std::size_t p = 0; p < pcus_.size(); ++p) {
-      if (!active[p] || !scan_capable(p)) continue;
+      if (!active[p] || excluded[p] || !scan_capable(p)) continue;
       free_time = std::min(free_time, std::max(now, free_at[p]));
     }
-    PCNNA_CHECK_MSG(std::isfinite(free_time),
-                    "no active capable PCU to dispatch to — autoscaler "
-                    "min_active excludes every capable PCU");
+    if (!std::isfinite(free_time)) {
+      PCNNA_CHECK_MSG(fault_active,
+                      "no active capable PCU to dispatch to — autoscaler "
+                      "min_active excludes every capable PCU");
+      // The whole fleet is dead or quarantined. Wait for whatever event
+      // can change that (a repair, a recovery, more arrivals); if nothing
+      // ever will, everything still waiting is permanently lost.
+      double next_event = std::numeric_limits<double>::infinity();
+      double na = 0.0;
+      if (queue.next_arrival(na)) next_event = na;
+      if (!retries.empty())
+        next_event = std::min(next_event, retries.begin()->ready);
+      next_event = std::min(next_event, next_health_event());
+      if (!std::isfinite(next_event)) {
+        drain_all_lost(pending);
+        break;
+      }
+      step_to(next_event);
+      continue;
+    }
 
     // If another request arrives before (or exactly when) a PCU frees,
     // admit it first: under EDF it may be more urgent than anything
     // already pending.
     double next = 0.0;
     if (queue.next_arrival(next) && next <= free_time) {
-      advance_to(next);
+      step_to(next);
       continue;
     }
-    advance_to(free_time);
+    if (fault_active) {
+      // Same for a retry whose backoff expires, or a health event — a
+      // fault could kill the very PCU the dispatch below would pick, so
+      // events strictly before (or at) the free instant are applied and
+      // the picture re-evaluated first.
+      double ev = next_health_event();
+      if (!retries.empty()) ev = std::min(ev, retries.begin()->ready);
+      if (ev <= free_time) {
+        step_to(ev);
+        continue;
+      }
+    }
+    step_to(free_time);
 
     // Walk the pending set in urgency order and act on the first request
     // that can: dispatch it to a free PCU, or shed it. A request may
@@ -540,12 +1009,35 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
       std::size_t best = pcus_.size();
       double best_score = std::numeric_limits<double>::infinity();
 
+      // Health-aware capability downgrade: under the capability-sensitive
+      // policies a degraded PCU no longer meets the bar — unless no
+      // fully-healthy capable PCU is dispatchable for this model at all,
+      // in which case degraded capacity beats none.
+      bool allow_degraded = true;
+      if (fault_active && (policy == DispatchPolicy::kCapabilityAware ||
+                           policy == DispatchPolicy::kModelAffinity)) {
+        for (std::size_t p = 0; p < pcus_.size(); ++p) {
+          if (active[p] && !excluded[p] && capable(p, r.model) &&
+              health[p] == HealthState::kHealthy) {
+            allow_degraded = false;
+            break;
+          }
+        }
+      }
+      // Dispatch eligibility of PCU p for this request. Reduces exactly to
+      // active && capable when no faults are injected.
+      const auto elig = [&](std::size_t p) {
+        if (!active[p] || !capable(p, r.model)) return false;
+        if (!fault_active) return true;
+        if (excluded[p]) return false;
+        return allow_degraded || health[p] != HealthState::kDegraded;
+      };
+
       if (policy == DispatchPolicy::kModelAffinity) {
         // (a) Free PCU already programmed with r.model: earliest truthful
         // completion wins (no swap by construction).
         for (std::size_t p = 0; p < pcus_.size(); ++p) {
-          if (!active[p] || !capable(p, r.model) || free_at[p] > now ||
-              programmed[p] != r.model)
+          if (!elig(p) || free_at[p] > now || programmed[p] != r.model)
             continue;
           const double score = now + true_service(p, r.model, now);
           if (score < best_score) {
@@ -564,17 +1056,16 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
           double affine_completion =
               std::numeric_limits<double>::infinity();
           for (std::size_t p = 0; p < pcus_.size(); ++p) {
-            if (!active[p] || !capable(p, r.model) ||
-                programmed[p] != r.model || free_at[p] <= now)
+            if (!elig(p) || programmed[p] != r.model || free_at[p] <= now)
               continue;
             affine_completion =
                 std::min(affine_completion,
                          free_at[p] + pcus_[p].request_interval_overlapped(
-                                          r.model));
+                                          r.model) *
+                                          degrade_factor(p));
           }
           for (std::size_t p = 0; p < pcus_.size(); ++p) {
-            if (!active[p] || !capable(p, r.model) || free_at[p] > now)
-              continue;
+            if (!elig(p) || free_at[p] > now) continue;
             const double score = now + true_service(p, r.model, now);
             if (score < best_score) {
               best_score = score;
@@ -591,7 +1082,7 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
             bool any_capable = false;
             for (std::size_t p = 0; p < pcus_.size(); ++p)
               if (active[p] && capable(p, r.model)) any_capable = true;
-            PCNNA_CHECK_MSG(any_capable,
+            PCNNA_CHECK_MSG(any_capable || fault_active,
                             "no active PCU capable of model " << r.model);
             continue;
           }
@@ -601,8 +1092,7 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
         // keeps its longest-free-wins score; the others take the earliest
         // predicted (model-blind) completion.
         for (std::size_t p = 0; p < pcus_.size(); ++p) {
-          if (!active[p] || !capable(p, r.model) || free_at[p] > now)
-            continue;
+          if (!elig(p) || free_at[p] > now) continue;
           const double score =
               policy == DispatchPolicy::kEarliestFree
                   ? free_at[p]
@@ -619,7 +1109,7 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
           bool any_capable = false;
           for (std::size_t p = 0; p < pcus_.size(); ++p)
             if (active[p] && capable(p, r.model)) any_capable = true;
-          PCNNA_CHECK_MSG(any_capable,
+          PCNNA_CHECK_MSG(any_capable || fault_active,
                           "no active PCU capable of model " << r.model);
           continue;
         }
@@ -645,29 +1135,84 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
     if (!acted) {
       // Every pending request deferred: nothing can start at `now`.
       // Advance to the next event that can change the picture — the next
-      // arrival or the next strictly-later free time of an eligible PCU.
+      // arrival, the next strictly-later free time of an eligible PCU, or
+      // (with faults) the next retry expiry or health event.
       double next_event = std::numeric_limits<double>::infinity();
       if (queue.next_arrival(next)) next_event = next;
       for (std::size_t p = 0; p < pcus_.size(); ++p) {
-        if (!active[p] || !scan_capable(p) || free_at[p] <= now) continue;
+        if (!active[p] || excluded[p] || !scan_capable(p) ||
+            free_at[p] <= now)
+          continue;
         next_event = std::min(next_event, free_at[p]);
       }
-      PCNNA_CHECK_MSG(std::isfinite(next_event),
-                      "admission deadlock: every pending request is "
-                      "deferred with no future event");
-      advance_to(next_event);
+      if (fault_active) {
+        if (!retries.empty())
+          next_event = std::min(next_event, retries.begin()->ready);
+        next_event = std::min(next_event, next_health_event());
+      }
+      if (!std::isfinite(next_event)) {
+        PCNNA_CHECK_MSG(fault_active,
+                        "admission deadlock: every pending request is "
+                        "deferred with no future event");
+        // No PCU will ever become dispatchable for what remains.
+        drain_all_lost(pending);
+        break;
+      }
+      step_to(next_event);
     }
   }
 
-  // Close the mean-active integral at the makespan (the last completion,
-  // or the last event when everything was shed).
+  if (fault_active) {
+    // Repairs complete even after the last request — fire every remaining
+    // health timer for the availability/repair accounting. (Remaining
+    // fault *events* are past the end of the simulated timeline and never
+    // fire.)
+    while (true) {
+      const auto [tt, tp] = next_timer();
+      if (!std::isfinite(tt)) break;
+      advance_to(tt);
+      fire_timer(tp, tt);
+    }
+    // Drop destroyed attempts from the schedule (stable), keeping only
+    // the attempt that actually served each request.
+    std::vector<ScheduledService> kept;
+    kept.reserve(result.schedule.size());
+    for (std::size_t i = 0; i < result.schedule.size(); ++i) {
+      if (!cancelled[i]) kept.push_back(result.schedule[i]);
+    }
+    result.schedule = std::move(kept);
+    for (const ScheduledService& s : result.schedule) {
+      if (s.attempts > 1) result.fault.recovered_requests += 1;
+    }
+  }
+
+  // Close the mean-active integral at the makespan (the last completion —
+  // destroyed attempts included — or the last event when everything was
+  // shed).
   double makespan = last_event;
   for (const ScheduledService& s : result.schedule)
     makespan = std::max(makespan, s.completion);
+  if (fault_active) {
+    for (const FaultedAttempt& a : result.fault.attempts)
+      makespan = std::max(makespan, a.end);
+  }
   advance_to(makespan);
   result.autoscaler.mean_active =
       makespan > 0.0 ? active_integral / makespan
                      : static_cast<double>(active_count);
+
+  if (fault_active) {
+    // Close every health dwell bucket at the makespan and derive per-PCU
+    // availability (the in-service fraction of the run).
+    for (std::size_t p = 0; p < pcus_.size(); ++p) {
+      close_health(p, makespan);
+      PcuHealthStats& hs = result.fault.per_pcu[p];
+      hs.availability =
+          makespan > 0.0
+              ? (hs.healthy_time + hs.degraded_time) / makespan
+              : 1.0;
+    }
+  }
   return result;
 }
 

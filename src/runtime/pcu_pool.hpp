@@ -38,6 +38,7 @@
 
 #include "core/config.hpp"
 #include "nn/network.hpp"
+#include "runtime/fault_plan.hpp"
 #include "runtime/pcu.hpp"
 #include "runtime/request_queue.hpp"
 
@@ -141,6 +142,10 @@ struct ScheduledService {
   /// model. Distinct from swap > 0: under TimingFidelity::kPaper
   /// recalibration is free, so a real switch can charge zero seconds.
   bool swapped = false;
+  /// 1-based service attempt this entry records. > 1 means injected faults
+  /// destroyed earlier attempts and this is the retry that finally served
+  /// the request (always 1 without fault injection).
+  std::uint32_t attempts = 1;
 };
 
 /// Elastic fleet sizing for the admission loop. When enabled, dispatch
@@ -184,6 +189,13 @@ struct AdmissionOptions {
   /// admission mode.
   bool shed_expired = false;
   AutoscalerPolicy autoscaler;
+  /// Fault injection and tolerance: a timed FaultSchedule to replay plus
+  /// health-aware dispatch, retry-with-backoff, and quarantine/repair
+  /// knobs (see fault_plan.hpp). The default (empty schedule) bypasses
+  /// every fault code path — the resulting schedule is bit-identical to a
+  /// run without fault machinery for every dispatch policy. A non-empty
+  /// schedule forces the event-driven admission mode.
+  FaultOptions faults;
 };
 
 /// One load-shedding decision: the request that was rejected and when.
@@ -220,6 +232,9 @@ struct AdmissionResult {
   std::vector<ScheduledService> schedule;
   ShedReport shed;
   AutoscalerStats autoscaler;
+  /// Fault-tolerance outcome (trivial when AdmissionOptions::faults is
+  /// empty). Requests in `fault.losses` appear in no schedule entry.
+  FaultReport fault;
 };
 
 class PcuPool {
@@ -325,13 +340,30 @@ class PcuPool {
   ///    scores depend only on deterministic per-PCU free times — a later
   ///    arrival can never change an earlier commitment. This is the
   ///    pre-SLO code path, kept bit-identical.
-  ///  * Event-driven (kEdf, kModelAffinity, shed_expired, or
-  ///    autoscaler.enabled): arrived requests wait in a pending set and
-  ///    commitments are deferred to the moment a PCU frees, because EDF
-  ///    lets a later tighter-deadline arrival overtake, affinity may hold
-  ///    a request for a busy PCU programmed with its model, shedding is
-  ///    decided at the would-start moment, and the active PCU set itself
-  ///    varies over time.
+  ///  * Event-driven (kEdf, kModelAffinity, shed_expired,
+  ///    autoscaler.enabled, or a non-empty fault schedule): arrived
+  ///    requests wait in a pending set and commitments are deferred to the
+  ///    moment a PCU frees, because EDF lets a later tighter-deadline
+  ///    arrival overtake, affinity may hold a request for a busy PCU
+  ///    programmed with its model, shedding is decided at the would-start
+  ///    moment, the active PCU set itself varies over time, and faults
+  ///    change PCU health mid-run.
+  ///
+  /// Fault tolerance (options.faults, see fault_plan.hpp): the loop
+  /// replays the FaultSchedule against the same virtual clock. Transients
+  /// corrupt the in-flight request (detected at its completion); crashes
+  /// lose the in-flight request at fault time and kill the PCU until its
+  /// kRecover; degrades inflate the PCU's service times (and downgrade its
+  /// capability under the capability-sensitive policies) until detection
+  /// quarantines it for a full recalibration repair — which bumps the
+  /// PCU's configuration epoch in FaultOptions::plan_cache when one is
+  /// attached. Lost/corrupted requests re-enqueue with deadline-aware
+  /// exponential backoff and re-dispatch to a healthy capable PCU, keeping
+  /// their id (hence their per-request seed: a successful retry is
+  /// bit-identical to an undisturbed serve). Retries that cannot meet
+  /// their deadline flow into the ordinary shed_expired path; requests
+  /// that exhaust the retry budget — or outlive the whole fleet — land in
+  /// AdmissionResult::fault.losses and appear in no schedule entry.
   ///
   /// Multi-model accounting (any mode): each PCU tracks its programmed
   /// model; a dispatch that switches it charges Pcu::swap_time(model)
@@ -342,8 +374,8 @@ class PcuPool {
   /// layer already pays its recalibration inline on every request.
   ///
   /// Returns the schedule of *served* requests in dispatch order plus the
-  /// shed and autoscaler outcomes; without shedding the schedule covers
-  /// every request.
+  /// shed, autoscaler, and fault outcomes; without shedding or fault
+  /// injection the schedule covers every request.
   AdmissionResult simulate_admission(RequestQueue& queue,
                                      const AdmissionOptions& options);
 

@@ -80,6 +80,7 @@ void expect_bit_identical(const AdmissionResult& a, const AdmissionResult& b) {
     EXPECT_EQ(x.model, y.model) << "entry " << i;
     EXPECT_EQ(x.swap, y.swap) << "entry " << i;
     EXPECT_EQ(x.swapped, y.swapped) << "entry " << i;
+    EXPECT_EQ(x.attempts, y.attempts) << "entry " << i;
   }
   ASSERT_EQ(a.shed.shed, b.shed.shed);
   ASSERT_EQ(a.shed.decisions.size(), b.shed.decisions.size());
@@ -194,6 +195,95 @@ TEST(AdmissionDeterminism, EngineThreadsNeverPerturbsTheSchedule) {
   const AdmissionResult c = admit(one, adversarial_stream(one, 200), edf);
   const AdmissionResult d = admit(many, adversarial_stream(many, 200), edf);
   expect_bit_identical(c, d);
+}
+
+// --- Fault machinery off means OFF: the bit-identity contract ---
+
+// An empty FaultSchedule must bypass every fault code path: for every
+// dispatch policy, a run with default-constructed FaultOptions (plus
+// arbitrary knob settings behind the empty schedule) reproduces the
+// schedule of a run that never heard of faults, bit for bit — and reports
+// no fault activity at all.
+TEST(AdmissionDeterminism, EmptyFaultScheduleIsBitIdenticalForEveryPolicy) {
+  const TwoModels t = make_two_models();
+  PcuPool pool(3, PcnnaConfig::paper_defaults(), TimingFidelity::kFull,
+               t.net, t.weights_a);
+  pool.register_model(t.net, t.weights_b);
+
+  for (DispatchPolicy policy : runtime::kAllDispatchPolicies) {
+    AdmissionOptions plain;
+    plain.policy = policy;
+    plain.shed_expired = true;
+
+    AdmissionOptions with_knobs = plain;
+    // Every fault knob armed — but the schedule is empty, so none of it
+    // may run. The non-schedule knobs alone must not flip the loop into
+    // its event-driven mode or perturb a single double.
+    with_knobs.faults.detection_latency = 1.0;
+    with_knobs.faults.retry.max_retries = 7;
+    with_knobs.faults.retry.backoff_base = 0.5;
+    with_knobs.faults.repair_time = 2.0;
+
+    const AdmissionResult a =
+        admit(pool, adversarial_stream(pool, 300), plain);
+    const AdmissionResult b =
+        admit(pool, adversarial_stream(pool, 300), with_knobs);
+    ASSERT_GT(a.schedule.size(), 0u)
+        << runtime::dispatch_policy_name(policy);
+    expect_bit_identical(a, b);
+    EXPECT_EQ(0u, b.fault.injections);
+    EXPECT_TRUE(b.fault.per_pcu.empty());
+    EXPECT_TRUE(b.fault.losses.empty());
+    for (const ScheduledService& s : b.schedule) EXPECT_EQ(1u, s.attempts);
+  }
+}
+
+// With a non-empty schedule the whole fault pipeline must itself be a pure
+// function of its inputs: two identical runs agree on every FaultReport
+// field, bit for bit.
+TEST(AdmissionDeterminism, FaultReportBitIdenticalAcrossRuns) {
+  const TwoModels t = make_two_models();
+  PcuPool pool(3, PcnnaConfig::paper_defaults(), TimingFidelity::kFull,
+               t.net, t.weights_a);
+  pool.register_model(t.net, t.weights_b);
+  const double interval = pool.pcu(0).request_interval_overlapped(0);
+
+  runtime::FaultModel hazard;
+  hazard.mtbf = 60.0 * interval;
+  hazard.horizon = 250.0 * interval;
+  hazard.mean_time_to_repair = 20.0 * interval;
+
+  AdmissionOptions o;
+  o.policy = DispatchPolicy::kModelAffinity;
+  o.shed_expired = true;
+  o.faults.schedule = runtime::poisson_faults(3, hazard, 41);
+  o.faults.detection_latency = 0.5 * interval;
+  o.faults.retry.backoff_base = 0.25 * interval;
+  o.faults.repair_time = 2.0 * interval;
+  ASSERT_FALSE(o.faults.schedule.empty());
+
+  const AdmissionResult a = admit(pool, adversarial_stream(pool, 400), o);
+  const AdmissionResult b = admit(pool, adversarial_stream(pool, 400), o);
+  expect_bit_identical(a, b);
+  EXPECT_GT(a.fault.injections, 0u);
+  EXPECT_EQ(a.fault.injections, b.fault.injections);
+  EXPECT_EQ(a.fault.retries, b.fault.retries);
+  EXPECT_EQ(a.fault.lost_requests, b.fault.lost_requests);
+  ASSERT_EQ(a.fault.attempts.size(), b.fault.attempts.size());
+  for (std::size_t i = 0; i < a.fault.attempts.size(); ++i) {
+    EXPECT_EQ(a.fault.attempts[i].id, b.fault.attempts[i].id);
+    EXPECT_EQ(a.fault.attempts[i].pcu, b.fault.attempts[i].pcu);
+    EXPECT_EQ(a.fault.attempts[i].start, b.fault.attempts[i].start);
+    EXPECT_EQ(a.fault.attempts[i].end, b.fault.attempts[i].end);
+  }
+  ASSERT_EQ(a.fault.per_pcu.size(), b.fault.per_pcu.size());
+  for (std::size_t p = 0; p < a.fault.per_pcu.size(); ++p) {
+    EXPECT_EQ(a.fault.per_pcu[p].availability,
+              b.fault.per_pcu[p].availability);
+    EXPECT_EQ(a.fault.per_pcu[p].healthy_time,
+              b.fault.per_pcu[p].healthy_time);
+    EXPECT_EQ(a.fault.per_pcu[p].failed_time, b.fault.per_pcu[p].failed_time);
+  }
 }
 
 // --- Adversarial EDF tie-breaks (satellite) ---

@@ -166,6 +166,34 @@ TEST(EngineFaults, ErrorGrowsWithFaultRateButStaysBounded) {
   }
 }
 
+// A frozen ring heater is a *fabrication* fault, not a calibration one: no
+// amount of re-trimming (the repair path's recalibration) can move it, and
+// the measured_usable_range re-probe over the live bank — the health check
+// a repair would run — sees the collapsed range where the pristine closed
+// form would not.
+TEST(EngineFaults, FrozenRingSurvivesRecalibrationAndShrinksTheProbe) {
+  auto healthy = make_bank(5, /*seed=*/91);
+  const double pristine = core::measured_usable_range(healthy);
+  ASSERT_GT(pristine, 0.0);
+
+  auto faulty = make_bank(5, /*seed=*/91);
+  faulty.fail_ring(2); // the probe reads the middle channel
+  // Repeated recalibration passes — what a quarantine repair pays — cannot
+  // move the frozen heater off its parked zero weight.
+  const std::vector<double> targets = {0.7, -0.7, 0.7, -0.7, 0.7};
+  std::vector<double> achieved;
+  for (int pass = 0; pass < 3; ++pass) achieved = faulty.calibrate(targets);
+  EXPECT_EQ(1u, faulty.stuck_rings());
+  EXPECT_NEAR(0.0, achieved[2], 0.05);
+  EXPECT_GT(std::abs(achieved[2] - targets[2]), 0.5);
+
+  // The re-probe over the live bank exposes the fault: the middle channel
+  // cannot reach either extreme, so the measured range collapses relative
+  // to the same bank without the fault.
+  const double reprobed = core::measured_usable_range(faulty);
+  EXPECT_LT(reprobed, 0.5 * pristine);
+}
+
 TEST(EngineFaults, FaultsAreDeterministicPerSeed) {
   PcnnaConfig cfg = PcnnaConfig::ideal();
   cfg.stuck_ring_rate = 0.1;

@@ -34,6 +34,7 @@ using core::RingAllocation;
 using core::TimingFidelity;
 using core::TimingModel;
 using core::config_hash;
+using core::plan_config_key;
 
 nn::ConvLayerParams layer_a() {
   // LeNet-ish small conv layer.
@@ -204,6 +205,60 @@ TEST(PlanCacheTest, RecalibratedStrategyStaysBitIdenticalUnderSameSeed) {
   const LayerStrategy before = planner.plan_layer(layer_a());
   planner.cache().bump_epoch();
   EXPECT_EQ(before, planner.plan_layer(layer_a()));
+}
+
+// A quarantine repair re-trims ONE PCU configuration's banks; the
+// fault-tolerant admission loop bumps exactly that configuration's epoch
+// (plan_config_key), so strategies planned for other device models must
+// stay fresh.
+TEST(PlanCacheTest, PerConfigBumpInvalidatesOnlyThatConfiguration) {
+  PlanCache shared;
+  PcnnaConfig big = PcnnaConfig::paper_defaults();
+  PcnnaConfig small = PcnnaConfig::paper_defaults();
+  small.max_wavelengths = big.max_wavelengths / 2;
+  Planner big_planner(big, TimingFidelity::kFull, &shared);
+  Planner small_planner(small, TimingFidelity::kFull, &shared);
+  big_planner.plan_layer(layer_a());
+  small_planner.plan_layer(layer_a());
+  EXPECT_EQ(2u, shared.size());
+
+  // Repair the "big" PCU: only its configuration's entry goes stale.
+  shared.bump_epoch(plan_config_key(big, TimingFidelity::kFull));
+  small_planner.plan_layer(layer_a()); // hit — untouched configuration
+  big_planner.plan_layer(layer_a());   // invalidation + miss, re-inserted
+  EXPECT_EQ((PlanCacheStats{1, 3, 1}), shared.stats());
+
+  // The re-inserted entry carries the bumped effective epoch: fresh again.
+  big_planner.plan_layer(layer_a());
+  EXPECT_EQ((PlanCacheStats{2, 3, 1}), shared.stats());
+  EXPECT_EQ(0u, shared.epoch()) << "per-config bumps never move the global";
+  EXPECT_EQ(1u, shared.epoch(plan_config_key(big, TimingFidelity::kFull)));
+  EXPECT_EQ(0u, shared.epoch(plan_config_key(small, TimingFidelity::kFull)));
+}
+
+TEST(PlanCacheTest, PerConfigAndGlobalEpochsCompose) {
+  PlanCache cache;
+  const std::uint64_t key =
+      plan_config_key(PcnnaConfig::paper_defaults(), TimingFidelity::kFull);
+  EXPECT_EQ(0u, cache.epoch(key));
+  cache.bump_epoch(key);
+  cache.bump_epoch(key);
+  cache.bump_epoch(); // global drift on top of two repairs
+  EXPECT_EQ(3u, cache.epoch(key));
+  EXPECT_EQ(1u, cache.epoch());
+  EXPECT_EQ(1u, cache.epoch(key + 1)) << "unbumped digests track the global";
+}
+
+// plan_config_key folds the fidelity into the configuration digest: the
+// same physical config under a different timing model is a different
+// calibration domain.
+TEST(PlanCacheTest, PlanConfigKeySeparatesFidelities) {
+  const PcnnaConfig config = PcnnaConfig::paper_defaults();
+  EXPECT_NE(plan_config_key(config, TimingFidelity::kFull),
+            plan_config_key(config, TimingFidelity::kPaper));
+  EXPECT_EQ(plan_config_key(config, TimingFidelity::kFull),
+            plan_config_key(PcnnaConfig::paper_defaults(),
+                            TimingFidelity::kFull));
 }
 
 TEST(PlanCacheTest, ClearDropsEntriesAndStatsButKeepsTheEpoch) {
