@@ -15,10 +15,27 @@ namespace pcnna {
 /// implementation-defined). Seeded through SplitMix64.
 class Rng {
  public:
+  /// Complete generator state: the xoshiro words plus the Box–Muller
+  /// spare-normal cache. Capturing and restoring it around a draw sequence
+  /// continues the stream exactly — the pipelined serving runtime hands the
+  /// engine RNG from one PCU's stage to the next this way so a split run
+  /// draws the same values a whole-network run would.
+  struct State {
+    std::uint64_t s[4]{};
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
 
   /// Re-initialize the full state from a 64-bit seed.
   void reseed(std::uint64_t seed);
+
+  /// Snapshot the complete generator state.
+  State state() const;
+
+  /// Restore a snapshot taken with state().
+  void set_state(const State& state);
 
   /// Next raw 64-bit value.
   std::uint64_t next_u64();

@@ -43,20 +43,26 @@ nn::Tensor Accelerator::run_conv(const nn::Tensor& input,
   return out;
 }
 
-NetworkRunReport Accelerator::run(const nn::Network& net,
-                                  const nn::NetWeights& weights,
-                                  const nn::Tensor& input,
-                                  bool simulate_values,
-                                  bool compare_reference) {
+NetworkRunReport Accelerator::run_range(const nn::Network& net,
+                                        const nn::NetWeights& weights,
+                                        const nn::Tensor& input,
+                                        std::size_t op_begin,
+                                        std::size_t op_end,
+                                        bool simulate_values) {
   PCNNA_CHECK(weights.weight.size() == net.ops().size());
   PCNNA_CHECK(weights.bias.size() == net.ops().size());
-  PCNNA_CHECK_MSG(input.shape() == net.input_shape(),
-                  "input does not match network '" << net.name() << "'");
+  PCNNA_CHECK_MSG(op_begin <= op_end && op_end <= net.ops().size(),
+                  "op range [" << op_begin << ", " << op_end
+                               << ") out of bounds for network '"
+                               << net.name() << "'");
+  PCNNA_CHECK_MSG(input.shape() == net.shape_before(op_begin),
+                  "input does not match network '" << net.name()
+                                                   << "' at op " << op_begin);
 
   NetworkRunReport report;
   nn::Tensor x = input;
 
-  for (std::size_t i = 0; i < net.ops().size(); ++i) {
+  for (std::size_t i = op_begin; i < op_end; ++i) {
     const nn::LayerOp& op = net.ops()[i];
     switch (op.kind) {
       case nn::OpKind::kConv: {
@@ -142,6 +148,16 @@ NetworkRunReport Accelerator::run(const nn::Network& net,
     }
   }
   report.output = std::move(x);
+  return report;
+}
+
+NetworkRunReport Accelerator::run(const nn::Network& net,
+                                  const nn::NetWeights& weights,
+                                  const nn::Tensor& input,
+                                  bool simulate_values,
+                                  bool compare_reference) {
+  NetworkRunReport report =
+      run_range(net, weights, input, 0, net.ops().size(), simulate_values);
 
   if (compare_reference) {
     report.reference_output = nn::forward_reference(net, weights, input);

@@ -63,6 +63,16 @@ class Accelerator {
   /// results are independent of request ordering and PCU assignment.
   void reseed_engine(std::uint64_t seed) { engine_.reseed_rng(seed); }
 
+  /// Snapshot / restore the engine RNG mid-network. Pipelined serving runs
+  /// a network as contiguous op ranges on different PCUs; carrying the RNG
+  /// state across the stage boundary keeps the split run bit-identical to
+  /// a whole-network run from the same request seed (the engine draws
+  /// noise/fabrication values strictly in layer order).
+  Rng::State engine_rng_state() const { return engine_.rng_state(); }
+  void set_engine_rng_state(const Rng::State& state) {
+    engine_.set_rng_state(state);
+  }
+
   /// Run one conv layer functionally on the optical core.
   nn::Tensor run_conv(const nn::Tensor& input, const nn::Tensor& weights,
                       const nn::Tensor& bias, std::size_t stride,
@@ -79,6 +89,16 @@ class Accelerator {
   NetworkRunReport run(const nn::Network& net, const nn::NetWeights& weights,
                        const nn::Tensor& input, bool simulate_values = true,
                        bool compare_reference = true);
+
+  /// Run the contiguous op range [op_begin, op_end) — one pipeline stage.
+  /// `input` must match net.shape_before(op_begin); the report's output is
+  /// the activation leaving op_end - 1. run() is exactly
+  /// run_range(0, ops.size()) plus the whole-network reference comparison;
+  /// ranges carry no reference metrics (the golden prefix is not replayed).
+  NetworkRunReport run_range(const nn::Network& net,
+                             const nn::NetWeights& weights,
+                             const nn::Tensor& input, std::size_t op_begin,
+                             std::size_t op_end, bool simulate_values = true);
 
   // Batch timing lives in runtime::BatchRunner / FleetReport: the old
   // Accelerator::run_batch / BatchReport pair was deprecated in PR 3 and

@@ -181,6 +181,15 @@ class OpticalConvEngine {
   /// PCU serves it or in what order.
   void reseed_rng(std::uint64_t seed) { rng_.reseed(seed); }
 
+  /// Snapshot the noise/fabrication RNG mid-stream. The pipelined serving
+  /// runtime captures the state after one stage's layer range and restores
+  /// it on the next stage's PCU, so a split run draws exactly the values a
+  /// whole-network run from the same request seed would.
+  Rng::State rng_state() const { return rng_.state(); }
+
+  /// Restore a snapshot taken with rng_state().
+  void set_rng_state(const Rng::State& state) { rng_.set_state(state); }
+
  private:
   nn::Tensor run_full_kernel(const LayerPlan& plan, const nn::Tensor& input,
                              const nn::Tensor& weights, const nn::Tensor& bias,

@@ -1,0 +1,145 @@
+#include "core/stage_partitioner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace pcnna::core {
+
+StagePartitioner::StagePartitioner(const PcnnaConfig& config)
+    : scheduler_(config) {}
+
+std::vector<std::size_t> StagePartitioner::op_costs(
+    const nn::Network& net) const {
+  std::vector<std::size_t> costs(net.ops().size(), 0);
+  for (std::size_t i = 0; i < net.ops().size(); ++i) {
+    const nn::LayerOp& op = net.ops()[i];
+    if (op.kind == nn::OpKind::kConv)
+      costs[i] = scheduler_.plan(op.conv).cycles_per_location;
+  }
+  return costs;
+}
+
+std::size_t StagePartitioner::max_stages(const nn::Network& net) {
+  std::size_t convs = 0;
+  for (const nn::LayerOp& op : net.ops())
+    if (op.kind == nn::OpKind::kConv) convs += 1;
+  return convs;
+}
+
+std::vector<StageRange> StagePartitioner::partition(const nn::Network& net,
+                                                    std::size_t stages) const {
+  return partition_costs(op_costs(net), stages);
+}
+
+std::vector<StageRange> partition_costs(const std::vector<std::size_t>& costs,
+                                        std::size_t stages) {
+  // The partition runs over the positive-cost (conv) ops; zero-cost ops
+  // between them are glued to the preceding conv's stage afterwards.
+  std::vector<std::size_t> items; // op index of each positive-cost op
+  for (std::size_t i = 0; i < costs.size(); ++i)
+    if (costs[i] > 0) items.push_back(i);
+  const std::size_t m = items.size();
+  PCNNA_CHECK_MSG(stages >= 1 && stages <= m,
+                  "cannot split " << m << " conv ops into " << stages
+                                  << " pipeline stages");
+
+  // Prefix sums over item costs for O(1) range sums.
+  std::vector<std::size_t> prefix(m + 1, 0);
+  for (std::size_t i = 0; i < m; ++i)
+    prefix[i + 1] = prefix[i] + costs[items[i]];
+  const auto range_cost = [&](std::size_t lo, std::size_t hi) {
+    return prefix[hi] - prefix[lo];
+  };
+
+  // Classic linear-partition DP: best[j][i] = minimal achievable maximum
+  // range cost splitting the first i items into j ranges. m is the conv
+  // count of one network, so O(stages * m^2) is trivial.
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::vector<std::size_t>> best(
+      stages + 1, std::vector<std::size_t>(m + 1, kInf));
+  best[0][0] = 0;
+  for (std::size_t j = 1; j <= stages; ++j) {
+    for (std::size_t i = j; i + (stages - j) <= m; ++i) {
+      for (std::size_t t = j - 1; t < i; ++t) {
+        if (best[j - 1][t] == kInf) continue;
+        const std::size_t candidate =
+            std::max(best[j - 1][t], range_cost(t, i));
+        best[j][i] = std::min(best[j][i], candidate);
+      }
+    }
+  }
+
+  // Reconstruct boundaries back to front, taking the *smallest* split
+  // point that achieves the optimum at every step — a total deterministic
+  // order over equal-cost partitions (work drifts toward later stages,
+  // whose pins a streaming pipeline pays latest).
+  std::vector<std::size_t> bounds(stages + 1, m); // item-index boundaries
+  bounds[0] = 0;
+  std::size_t hi = m;
+  for (std::size_t j = stages; j >= 1; --j) {
+    std::size_t pick = hi;
+    for (std::size_t t = j - 1; t < hi; ++t) {
+      if (best[j - 1][t] == kInf) continue;
+      if (std::max(best[j - 1][t], range_cost(t, hi)) == best[j][hi]) {
+        pick = t;
+        break;
+      }
+    }
+    PCNNA_CHECK_MSG(pick < hi, "stage partition reconstruction failed");
+    bounds[j - 1] = pick;
+    hi = pick;
+  }
+
+  // Convert item boundaries to op ranges: stage j spans from its first
+  // conv op (stage 0: op 0, catching leading electronic ops) to just
+  // before stage j+1's first conv op (last stage: the end of the net).
+  std::vector<StageRange> ranges(stages);
+  for (std::size_t j = 0; j < stages; ++j) {
+    ranges[j].op_begin = j == 0 ? 0 : items[bounds[j]];
+    ranges[j].op_end = j + 1 == stages ? costs.size() : items[bounds[j + 1]];
+    ranges[j].cost = range_cost(bounds[j], bounds[j + 1]);
+  }
+  return ranges;
+}
+
+std::vector<std::size_t> assign_stages(
+    const std::vector<StageRange>& stages,
+    const std::vector<std::size_t>& candidates,
+    const std::vector<std::size_t>& passes) {
+  PCNNA_CHECK_MSG(candidates.size() == passes.size(),
+                  "assign_stages: candidates and passes disagree ("
+                      << candidates.size() << " vs " << passes.size() << ")");
+  PCNNA_CHECK_MSG(candidates.size() >= stages.size(),
+                  "assign_stages: " << stages.size() << " stages but only "
+                                    << candidates.size() << " candidate PCUs");
+
+  // Stages by descending cost (ties: lowest stage index first).
+  std::vector<std::size_t> stage_order(stages.size());
+  std::iota(stage_order.begin(), stage_order.end(), 0);
+  std::sort(stage_order.begin(), stage_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (stages[a].cost != stages[b].cost)
+                return stages[a].cost > stages[b].cost;
+              return a < b;
+            });
+
+  // Candidates by ascending whole-model passes — strongest first (ties:
+  // lowest PCU index).
+  std::vector<std::size_t> cand_order(candidates.size());
+  std::iota(cand_order.begin(), cand_order.end(), 0);
+  std::sort(cand_order.begin(), cand_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (passes[a] != passes[b]) return passes[a] < passes[b];
+              return candidates[a] < candidates[b];
+            });
+
+  std::vector<std::size_t> placement(stages.size(), 0);
+  for (std::size_t i = 0; i < stages.size(); ++i)
+    placement[stage_order[i]] = candidates[cand_order[i]];
+  return placement;
+}
+
+} // namespace pcnna::core

@@ -37,11 +37,13 @@ Network& Network::add_conv(ConvLayerParams params) {
   const std::size_t side = params.output_side();
   current_ = Shape4{1, params.K, side, side};
   ops_.push_back(LayerOp{OpKind::kConv, std::move(params), {}, {}, {}});
+  shapes_.push_back(current_);
   return *this;
 }
 
 Network& Network::add_relu() {
   ops_.push_back(LayerOp{OpKind::kReLU, {}, {}, {}, {}});
+  shapes_.push_back(current_);
   return *this;
 }
 
@@ -52,6 +54,7 @@ Network& Network::add_maxpool(std::size_t window, std::size_t stride) {
   current_.h = (current_.h - window) / stride + 1;
   current_.w = (current_.w - window) / stride + 1;
   ops_.push_back(LayerOp{OpKind::kMaxPool, {}, PoolOp{window, stride}, {}, {}});
+  shapes_.push_back(current_);
   return *this;
 }
 
@@ -62,12 +65,14 @@ Network& Network::add_avgpool(std::size_t window, std::size_t stride) {
   current_.h = (current_.h - window) / stride + 1;
   current_.w = (current_.w - window) / stride + 1;
   ops_.push_back(LayerOp{OpKind::kAvgPool, {}, PoolOp{window, stride}, {}, {}});
+  shapes_.push_back(current_);
   return *this;
 }
 
 Network& Network::add_lrn(LrnOp op) {
   PCNNA_CHECK(op.size > 0);
   ops_.push_back(LayerOp{OpKind::kLRN, {}, {}, op, {}});
+  shapes_.push_back(current_);
   return *this;
 }
 
@@ -75,12 +80,24 @@ Network& Network::add_fc(std::size_t out) {
   PCNNA_CHECK(out > 0);
   current_ = Shape4{1, out, 1, 1};
   ops_.push_back(LayerOp{OpKind::kFullyConnected, {}, {}, {}, FcOp{out}});
+  shapes_.push_back(current_);
   return *this;
 }
 
 Network& Network::add_softmax() {
   ops_.push_back(LayerOp{OpKind::kSoftmax, {}, {}, {}, {}});
+  shapes_.push_back(current_);
   return *this;
+}
+
+Shape4 Network::shape_before(std::size_t op) const {
+  PCNNA_CHECK_MSG(op <= ops_.size(), "op index " << op << " out of range");
+  return op == 0 ? input_ : shapes_[op - 1];
+}
+
+Shape4 Network::shape_after(std::size_t op) const {
+  PCNNA_CHECK_MSG(op < ops_.size(), "op index " << op << " out of range");
+  return shapes_[op];
 }
 
 std::vector<ConvLayerParams> Network::conv_layers() const {

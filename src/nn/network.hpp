@@ -78,6 +78,14 @@ class Network {
 
   const std::vector<LayerOp>& ops() const { return ops_; }
 
+  /// Shape of the feature map *entering* op i (i == 0 is the network
+  /// input). Lets a pipeline stage starting mid-network validate its
+  /// incoming activation without replaying the prefix.
+  Shape4 shape_before(std::size_t op) const;
+
+  /// Shape of the feature map *after* op i.
+  Shape4 shape_after(std::size_t op) const;
+
   /// All convolution layers in order (the workload PCNNA accelerates).
   std::vector<ConvLayerParams> conv_layers() const;
 
@@ -93,6 +101,8 @@ class Network {
   Shape4 input_{};
   Shape4 current_{};
   std::vector<LayerOp> ops_;
+  /// shapes_[i] is the shape after op i (parallel to ops_).
+  std::vector<Shape4> shapes_;
 };
 
 /// Per-op weights for a Network: `weight[i]`/`bias[i]` are used when op i is

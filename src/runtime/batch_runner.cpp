@@ -81,6 +81,13 @@ std::uint32_t BatchRunner::register_model(nn::Network net,
 std::vector<RequestResult> BatchRunner::serve(
     std::vector<InferenceRequest> requests,
     const std::vector<ScheduledService>& schedule, bool simulate_values) {
+  if (options_.dispatch == DispatchPolicy::kPipeline) {
+    // Pipelined service splits requests into per-stage runs chained across
+    // PCUs by the schedule's StageService spans (requests the schedule
+    // placed off any group run whole, as usual).
+    return pool_.serve_pipelined(std::move(requests), schedule,
+                                 simulate_values);
+  }
   if (pool_.homogeneous() && !options_.shed_expired &&
       !options_.faults.enabled()) {
     // Dynamic sharding: any PCU computes the same bits for a request, so
@@ -109,7 +116,8 @@ std::vector<RequestResult> BatchRunner::run(
   // report skips it (dynamic sharding needs no assignment).
   AdmissionResult admission;
   if (!pool_.homogeneous() || report || options_.shed_expired ||
-      options_.faults.enabled())
+      options_.faults.enabled() ||
+      options_.dispatch == DispatchPolicy::kPipeline)
     admission = simulate_admission_result(closed_batch_arrivals(batch), {}, {});
   const std::vector<ScheduledService>& schedule = admission.schedule;
 
@@ -203,7 +211,8 @@ std::vector<RequestResult> BatchRunner::run_open_loop(
   // shedding the schedule is always needed: it decides which requests run.
   AdmissionResult admission;
   if (!pool_.homogeneous() || report || options_.shed_expired ||
-      options_.faults.enabled())
+      options_.faults.enabled() ||
+      options_.dispatch == DispatchPolicy::kPipeline)
     admission = simulate_admission_result(arrivals, slos, models);
 
   const std::size_t batch = inputs.size();
@@ -299,6 +308,20 @@ double BatchRunner::fill_breakdowns(
     out[p].tag = pool_.pcu(p).tag();
   double makespan = 0.0;
   for (const ScheduledService& s : schedule) {
+    if (!s.stages.empty()) {
+      // Pipelined request: the request count goes to the head PCU, but
+      // each stage span is busy time on the PCU that actually ran it (the
+      // whole-chain completion - start would overcount the head, which is
+      // busy only for its own stage). Stage pins land as warmup on their
+      // own PCU; pipelined service never swaps.
+      out[s.pcu].requests += 1;
+      for (const StageService& st : s.stages) {
+        out[st.pcu].busy_time += st.completion - st.start;
+        out[st.pcu].warmup_time += st.pin;
+      }
+      makespan = std::max(makespan, s.completion);
+      continue;
+    }
     PcuBreakdown& b = out[s.pcu];
     b.requests += 1;
     b.busy_time += s.completion - s.start;
@@ -328,12 +351,29 @@ OpenLoopReport BatchRunner::summarize_schedule(
                     : static_cast<double>(r.shed_requests) /
                           static_cast<double>(r.requests);
   r.autoscaler = admission.autoscaler;
+  r.pipeline = admission.pipeline;
   r.fidelity = options_.fidelity;
   r.double_buffer = options_.double_buffer;
   r.dispatch = options_.dispatch;
   r.offered_rps = offered_rate(arrivals);
 
+  // Saturation throughput. Under kPipeline each group admits one image per
+  // bottleneck-stage interval (the slowest stage gates the stream), and
+  // the PCUs it reserves contribute through the group, not individually;
+  // the unreserved rest of the fleet adds its usual per-PCU rates.
+  std::vector<unsigned char> reserved(pool_.size(), 0);
+  if (options_.dispatch == DispatchPolicy::kPipeline) {
+    for (std::size_t g = 0; g < pool_.num_pipelines(); ++g) {
+      const PipelineGroup& group = pool_.pipeline(g);
+      for (std::size_t p : group.members) reserved[p] = 1;
+      double bottleneck = 0.0;
+      for (const PipelineStage& st : group.stages)
+        bottleneck = std::max(bottleneck, st.timings.interval);
+      if (bottleneck > 0.0) r.fleet_capacity_rps += 1.0 / bottleneck;
+    }
+  }
   for (std::size_t p = 0; p < r.pcus; ++p) {
+    if (reserved[p]) continue;
     const Pcu& pcu = pool_.pcu(p);
     const double interval = options_.double_buffer
                                 ? pcu.request_interval_overlapped()
@@ -566,6 +606,21 @@ void BatchRunner::print_report(const OpenLoopReport& report, std::ostream& os,
     table.add_row({"model swaps",
                    std::to_string(report.model_swaps) + " (" +
                        format_time(report.model_swap_time) + ")"});
+  }
+  if (report.pipeline.pipelined_requests > 0) {
+    table.add_separator();
+    table.add_row({"pipeline groups",
+                   std::to_string(report.pipeline.groups)});
+    table.add_row({"pipelined requests",
+                   std::to_string(report.pipeline.pipelined_requests)});
+    table.add_row({"stage spans",
+                   std::to_string(report.pipeline.stage_spans)});
+    table.add_row({"stage re-placements",
+                   std::to_string(report.pipeline.replacements)});
+    table.add_row({"stage pin time",
+                   format_time(report.pipeline.pin_time)});
+    table.add_row({"stage hand-off time",
+                   format_time(report.pipeline.handoff_time)});
   }
   if (report.fault.injections > 0) {
     table.add_separator();

@@ -278,6 +278,14 @@ struct OpenLoopReport {
   /// Fleet-total time spent on those swaps [s].
   double model_swap_time = 0.0;
 
+  // --- Pipeline-parallel serving (trivial without pipeline groups) ---
+
+  /// Pipeline outcome: groups configured, requests routed through one,
+  /// stage spans committed, quarantine-driven re-placements, and the total
+  /// pin / hand-off time charged. All zero unless the run dispatched with
+  /// DispatchPolicy::kPipeline on a runner with built pipeline groups.
+  PipelineStats pipeline;
+
   // --- Fault tolerance (trivial on a run without injected faults) ---
 
   /// Requests injected faults permanently destroyed — every budgeted retry
@@ -332,6 +340,17 @@ class BatchRunner {
 
   /// Number of registered models (>= 1).
   std::size_t num_models() const { return pool_.num_models(); }
+
+  /// Pin registered model `model` across a chain of PCUs as a pipeline
+  /// group (see PcuPool::build_pipeline for the placement contract).
+  /// Serving it requires options().dispatch == DispatchPolicy::kPipeline;
+  /// the group's PCUs are reserved for it and fall out of fallback
+  /// dispatch. Returns the group index.
+  std::size_t build_pipeline(std::uint32_t model,
+                             const std::vector<std::size_t>& pcus,
+                             double handoff_time = 0.0) {
+    return pool_.build_pipeline(model, pcus, handoff_time);
+  }
 
   /// Serve `inputs` as requests 0..B-1 arriving all at once (closed batch —
   /// the degenerate all-at-t=0 arrival schedule).

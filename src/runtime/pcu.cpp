@@ -97,6 +97,73 @@ const Pcu::ModelSlot& Pcu::timings(std::uint32_t model) const {
   return models_[model];
 }
 
+StageTimings Pcu::stage_timings(std::uint32_t model, std::size_t op_begin,
+                                std::size_t op_end) const {
+  const ModelSlot& slot = timings(model);
+  const std::vector<nn::LayerOp>& ops = slot.net->ops();
+  PCNNA_CHECK_MSG(op_begin <= op_end && op_end <= ops.size(),
+                  "stage range [" << op_begin << ", " << op_end
+                                  << ") out of bounds for model " << model);
+  std::vector<nn::ConvLayerParams> layers;
+  for (std::size_t i = op_begin; i < op_end; ++i)
+    if (ops[i].kind == nn::OpKind::kConv) layers.push_back(ops[i].conv);
+
+  const core::TimingModel timing(config_, fidelity_);
+  const core::EnergyModel energy(config_);
+  const core::Scheduler scheduler(config_);
+
+  StageTimings st;
+  // Same split as add_model: recalibration (hideable behind the previous
+  // layer's compute) vs everything else (floored by the DRAM stream).
+  std::vector<double> recal(layers.size(), 0.0);
+  std::vector<double> nonrecal(layers.size(), 0.0);
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const core::LayerTiming t = timing.layer_time(layers[i]);
+    recal[i] = t.weight_load_time;
+    nonrecal[i] =
+        std::max(t.full_system_time - t.weight_load_time, t.dram_time);
+    st.serial += t.full_system_time;
+    st.split_passes += scheduler.plan(layers[i]).cycles_per_location;
+  }
+  // Steady-state interval of the stage: the double-buffer overlap wraps
+  // within the range — layer i of image r hides the recalibration for
+  // layer i+1, the range's last layer hides its first layer's for image
+  // r+1. Capped at the serial fallback exactly like the whole-model case.
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    st.interval += std::max(nonrecal[i], recal[(i + 1) % layers.size()]);
+  }
+  st.interval = std::min(st.interval, st.serial);
+  st.pin = layers.empty() ? 0.0 : recal.front();
+  for (const core::EnergyReport& e : energy.network_energy(layers, fidelity_))
+    st.energy += e.total();
+  return st;
+}
+
+StageHandoff Pcu::serve_stage(std::uint32_t model, std::size_t op_begin,
+                              std::size_t op_end, const nn::Tensor& input,
+                              const Rng::State* rng, std::uint64_t seed,
+                              double energy_so_far, bool simulate_values) {
+  const ModelSlot& slot = timings(model);
+  // First stage: restart the noise stream from the request seed, exactly
+  // like serve(). Later stages: resume the stream where the previous
+  // stage's PCU left it, so the split run draws the same values a
+  // whole-network run would.
+  if (rng == nullptr) {
+    accelerator_.reseed_engine(seed);
+  } else {
+    accelerator_.set_engine_rng_state(*rng);
+  }
+  core::NetworkRunReport run = accelerator_.run_range(
+      *slot.net, *slot.weights, input, op_begin, op_end, simulate_values);
+
+  StageHandoff handoff;
+  handoff.activation = std::move(run.output);
+  handoff.rng = accelerator_.engine_rng_state();
+  handoff.energy = energy_so_far + run.total_energy;
+  stats_.energy += run.total_energy;
+  return handoff;
+}
+
 RequestResult Pcu::serve(const InferenceRequest& request,
                          bool simulate_values) {
   const ModelSlot& slot = timings(request.model_id);

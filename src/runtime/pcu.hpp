@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/accelerator.hpp"
 #include "core/config.hpp"
 #include "nn/network.hpp"
@@ -100,6 +101,38 @@ struct RequestResult {
   std::uint32_t tenant = 0;
 };
 
+/// Serving constants for one contiguous op range of a model — one pipeline
+/// stage — computed exactly like the whole-model constants but over the
+/// range's conv layers. All simulated seconds / joules.
+struct StageTimings {
+  /// Serial time of the range (Σ layer full_system_time).
+  double serial = 0.0;
+  /// Steady-state per-image interval with double-buffered recalibration,
+  /// wrapping within the range (the stage streams images back-to-back).
+  double interval = 0.0;
+  /// One-time bank pin: the first image's exposed recalibration (the
+  /// range's first layer; later layers hide behind earlier compute). A
+  /// pinned stage never re-pays it — pinning *is* kPinnedAfterFirst — and
+  /// never swaps, which is the whole point of pipeline parallelism here.
+  double pin = 0.0;
+  /// Energy per image for the range's conv layers.
+  double energy = 0.0;
+  /// Capability metric of the range (Σ LayerPlan::cycles_per_location).
+  std::size_t split_passes = 0;
+};
+
+/// Activation + engine-RNG hand-off between consecutive pipeline stages.
+/// Carrying the RNG state keeps a split run bit-identical to a
+/// whole-network run from the same request seed: the engine draws noise /
+/// fabrication values strictly in layer order, so stage n+1 resumes the
+/// stream exactly where stage n left it.
+struct StageHandoff {
+  nn::Tensor activation;
+  Rng::State rng;
+  /// Accumulated simulated energy across the stages run so far [J].
+  double energy = 0.0;
+};
+
 /// Cumulative counters for one PCU (wall-clock sharding outcome).
 struct PcuStats {
   std::size_t requests_served = 0;
@@ -157,6 +190,31 @@ class Pcu {
   /// intra-image parallelism is deterministic and does not change any
   /// output bit.
   RequestResult serve(const InferenceRequest& request, bool simulate_values);
+
+  /// Run ops [op_begin, op_end) of `model` — one pipeline stage — from
+  /// `input`. For the first stage pass `rng == nullptr` and the request's
+  /// seed (the engine reseeds exactly as serve() would); later stages pass
+  /// the previous stage's hand-off state and `seed` is ignored. Returns
+  /// the activation leaving the range, the engine RNG state after it, and
+  /// the accumulated energy (incoming hand-off energy plus this range's).
+  /// Same thread-ownership rules as serve().
+  StageHandoff serve_stage(std::uint32_t model, std::size_t op_begin,
+                           std::size_t op_end, const nn::Tensor& input,
+                           const Rng::State* rng, std::uint64_t seed,
+                           double energy_so_far, bool simulate_values);
+
+  /// Serving constants for the stage [op_begin, op_end) of `model`,
+  /// computed on demand from this PCU's timing/energy/plan models (the
+  /// same math as the whole-model constants, restricted to the range's
+  /// conv layers).
+  StageTimings stage_timings(std::uint32_t model, std::size_t op_begin,
+                             std::size_t op_end) const;
+
+  /// The registered network behind `model` (borrowed). The pipeline
+  /// builder partitions it and validates stage ranges against it.
+  const nn::Network& model_network(std::uint32_t model) const {
+    return *timings(model).net;
+  }
 
   // The accessors below are precomputed per-model constants (set at
   // registration, immutable after), so they are safe to read from any

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <exception>
+#include <future>
 #include <limits>
 #include <mutex>
 #include <set>
@@ -11,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "core/planner.hpp"
+#include "core/stage_partitioner.hpp"
 
 namespace pcnna::runtime {
 
@@ -21,6 +23,7 @@ const char* dispatch_policy_name(DispatchPolicy policy) {
     case DispatchPolicy::kCapabilityAware: return "capability-aware";
     case DispatchPolicy::kEdf: return "edf";
     case DispatchPolicy::kModelAffinity: return "model-affinity";
+    case DispatchPolicy::kPipeline: return "pipeline";
   }
   // -Werror=switch makes the switch exhaustive at build time; reaching
   // here means an out-of-range cast, not a missing case.
@@ -73,6 +76,103 @@ std::uint32_t PcuPool::register_model(const nn::Network& net,
   }
   min_split_passes_.push_back(min_passes);
   return id;
+}
+
+const PipelineGroup* PcuPool::pipeline_for_model(std::uint32_t model) const {
+  for (const PipelineGroup& g : groups_)
+    if (g.model == model) return &g;
+  return nullptr;
+}
+
+void PcuPool::place_pipeline(PipelineGroup& g,
+                             const std::vector<std::size_t>& candidates) const {
+  // Healthy members in member order (deterministic: `members` is fixed).
+  std::vector<std::size_t> avail;
+  for (std::size_t m : g.members) {
+    if (std::find(candidates.begin(), candidates.end(), m) !=
+        candidates.end())
+      avail.push_back(m);
+  }
+  g.stages.clear();
+  if (avail.empty()) return; // the group is down until a member heals
+
+  std::size_t convs = 0;
+  for (std::size_t c : g.op_costs)
+    if (c > 0) convs += 1;
+  const std::size_t k = std::min(avail.size(), convs);
+  const std::vector<core::StageRange> ranges =
+      core::partition_costs(g.op_costs, k);
+  std::vector<std::size_t> passes;
+  passes.reserve(avail.size());
+  for (std::size_t p : avail)
+    passes.push_back(pcus_[p].channel_split_passes(g.model));
+  const std::vector<std::size_t> placement =
+      core::assign_stages(ranges, avail, passes);
+
+  g.stages.reserve(ranges.size());
+  for (std::size_t j = 0; j < ranges.size(); ++j) {
+    PipelineStage st;
+    st.pcu = placement[j];
+    st.op_begin = ranges[j].op_begin;
+    st.op_end = ranges[j].op_end;
+    st.cost = ranges[j].cost;
+    st.timings = pcus_[st.pcu].stage_timings(g.model, st.op_begin, st.op_end);
+    g.stages.push_back(st);
+  }
+}
+
+std::size_t PcuPool::build_pipeline(std::uint32_t model,
+                                    const std::vector<std::size_t>& pcus,
+                                    double handoff_time) {
+  PCNNA_CHECK_MSG(model < min_split_passes_.size(),
+                  "cannot pipeline unregistered model " << model);
+  PCNNA_CHECK_MSG(!pcus.empty(), "a pipeline group needs at least one PCU");
+  PCNNA_CHECK_MSG(std::isfinite(handoff_time) && handoff_time >= 0.0,
+                  "hand-off time must be finite and >= 0, got "
+                      << handoff_time);
+  PCNNA_CHECK_MSG(pipeline_for_model(model) == nullptr,
+                  "model " << model << " already has a pipeline group");
+  std::vector<unsigned char> seen(pcus_.size(), 0);
+  for (std::size_t p : pcus) {
+    PCNNA_CHECK_MSG(p < pcus_.size(), "pipeline PCU " << p << " out of range");
+    PCNNA_CHECK_MSG(!seen[p], "duplicate PCU " << p << " in pipeline group");
+    seen[p] = 1;
+    for (const PipelineGroup& g : groups_) {
+      PCNNA_CHECK_MSG(std::find(g.members.begin(), g.members.end(), p) ==
+                          g.members.end(),
+                      "PCU " << p
+                             << " is already reserved by the pipeline group "
+                                "of model "
+                             << g.model);
+    }
+  }
+  const nn::Network& net = pcus_.front().model_network(model);
+  PCNNA_CHECK_MSG(pcus.size() <= core::StagePartitioner::max_stages(net),
+                  "network '" << net.name() << "' has only "
+                              << core::StagePartitioner::max_stages(net)
+                              << " conv ops; cannot build " << pcus.size()
+                              << " pipeline stages");
+
+  PipelineGroup g;
+  g.model = model;
+  g.handoff_time = handoff_time;
+  g.members = pcus;
+  // Partition weights are priced once, on the strongest member (fewest
+  // whole-model passes, ties toward the lowest index), so re-placement
+  // after a quarantine re-partitions the *same* cost vector and stays a
+  // pure function of the healthy-member set.
+  std::size_t strongest = pcus.front();
+  for (std::size_t p : pcus) {
+    if (pcus_[p].channel_split_passes(model) <
+        pcus_[strongest].channel_split_passes(model))
+      strongest = p;
+  }
+  g.op_costs =
+      core::StagePartitioner(pcus_[strongest].config()).op_costs(net);
+  place_pipeline(g, pcus);
+  PCNNA_CHECK_MSG(!g.stages.empty(), "pipeline group construction failed");
+  groups_.push_back(std::move(g));
+  return groups_.size() - 1;
 }
 
 PcuPool::PcuPool(std::size_t num_pcus, const core::PcnnaConfig& config,
@@ -175,6 +275,138 @@ std::vector<RequestResult> PcuPool::serve_scheduled(
     } catch (...) {
       std::lock_guard<std::mutex> lock(error_mu);
       if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(pcus_.size());
+  for (std::size_t p = 0; p < pcus_.size(); ++p)
+    threads.emplace_back(worker, p);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<RequestResult> PcuPool::serve_pipelined(
+    std::vector<InferenceRequest> requests,
+    const std::vector<ScheduledService>& schedule, bool simulate_values) {
+  PCNNA_CHECK_MSG(schedule.size() <= requests.size(),
+                  "schedule covers " << schedule.size()
+                                     << " requests but only "
+                                     << requests.size() << " were given");
+  constexpr std::size_t kWhole = std::numeric_limits<std::size_t>::max();
+
+  /// One unit of PCU work: a whole request (stage == kWhole) or one stage
+  /// of a pipelined request. Ordered by virtual span start — the admission
+  /// loop guarantees per-PCU spans never overlap, so start order is the
+  /// execution order.
+  struct Exec {
+    std::size_t sched = 0; ///< index into `schedule`
+    std::size_t stage = kWhole;
+    double start = 0.0;
+  };
+  std::vector<std::vector<Exec>> assigned(pcus_.size());
+  std::vector<unsigned char> seen(requests.size(), 0);
+  // Hand-off chain per pipelined schedule entry: promise/future pairs, one
+  // per stage boundary. Stage j fulfills boundary j; stage j+1 consumes it.
+  std::vector<std::vector<std::promise<StageHandoff>>> chains(schedule.size());
+  std::vector<std::vector<std::future<StageHandoff>>> handoffs(
+      schedule.size());
+
+  for (std::size_t si = 0; si < schedule.size(); ++si) {
+    const ScheduledService& s = schedule[si];
+    PCNNA_CHECK_MSG(s.id < requests.size() && !seen[s.id],
+                    "schedule must name each request id at most once (id "
+                        << s.id << ")");
+    seen[s.id] = 1;
+    if (s.stages.empty()) {
+      PCNNA_CHECK_MSG(s.pcu < pcus_.size(),
+                      "scheduled PCU " << s.pcu << " out of range");
+      assigned[s.pcu].push_back({si, kWhole, s.start});
+      continue;
+    }
+    for (std::size_t j = 0; j < s.stages.size(); ++j) {
+      PCNNA_CHECK_MSG(s.stages[j].pcu < pcus_.size(),
+                      "scheduled stage PCU " << s.stages[j].pcu
+                                             << " out of range");
+      assigned[s.stages[j].pcu].push_back({si, j, s.stages[j].start});
+    }
+    chains[si].resize(s.stages.size() - 1);
+    handoffs[si].reserve(s.stages.size() - 1);
+    for (std::size_t j = 0; j + 1 < s.stages.size(); ++j)
+      handoffs[si].push_back(chains[si][j].get_future());
+  }
+  for (std::vector<Exec>& list : assigned) {
+    std::sort(list.begin(), list.end(), [](const Exec& a, const Exec& b) {
+      if (a.start != b.start) return a.start < b.start;
+      if (a.sched != b.sched) return a.sched < b.sched;
+      return a.stage < b.stage;
+    });
+  }
+
+  std::vector<RequestResult> results(requests.size());
+  for (std::size_t id = 0; id < results.size(); ++id) {
+    results[id].id = id;
+    results[id].model_id = requests[id].model_id;
+    results[id].tenant = requests[id].tenant;
+  }
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  // One worker per PCU over its own execution list. A stage past the head
+  // blocks on the previous stage's future; the virtual-time schedule is
+  // acyclic (every dependency points to an earlier span), so in-order
+  // processing cannot deadlock. On error the worker poisons every hand-off
+  // it still owes so downstream stages fail instead of waiting forever.
+  auto worker = [&](std::size_t p) {
+    std::size_t done = 0;
+    try {
+      for (const Exec& e : assigned[p]) {
+        const ScheduledService& s = schedule[e.sched];
+        if (e.stage == kWhole) {
+          results[s.id] = pcus_[p].serve(requests[s.id], simulate_values);
+          done += 1;
+          continue;
+        }
+        const StageService& span = s.stages[e.stage];
+        StageHandoff in;
+        const nn::Tensor* input = nullptr;
+        const Rng::State* rng = nullptr;
+        if (e.stage == 0) {
+          input = &requests[s.id].input;
+        } else {
+          in = handoffs[e.sched][e.stage - 1].get();
+          input = &in.activation;
+          rng = &in.rng;
+        }
+        StageHandoff out = pcus_[p].serve_stage(
+            s.model, span.op_begin, span.op_end, *input, rng,
+            requests[s.id].seed, e.stage == 0 ? 0.0 : in.energy,
+            simulate_values);
+        if (e.stage + 1 < s.stages.size()) {
+          chains[e.sched][e.stage].set_value(std::move(out));
+        } else {
+          RequestResult& r = results[s.id];
+          r.pcu_index = s.pcu;
+          r.output = std::move(out.activation);
+          r.service_time_serial = pcus_[s.pcu].request_time_serial(s.model);
+          r.service_time_overlapped =
+              pcus_[s.pcu].request_interval_overlapped(s.model);
+          r.energy = out.energy;
+        }
+        done += 1;
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      for (std::size_t i = done; i < assigned[p].size(); ++i) {
+        const Exec& e = assigned[p][i];
+        if (e.stage != kWhole && e.stage + 1 < schedule[e.sched].stages.size())
+          chains[e.sched][e.stage].set_exception(std::current_exception());
+      }
     }
   };
 
@@ -329,6 +561,41 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
   std::size_t active_count = scaler.enabled ? min_active : pcus_.size();
   for (std::size_t p = 0; p < active_count; ++p) active[p] = 1;
 
+  // --- pipeline (kPipeline) state: inert under every other policy ---
+  const bool pipelined = policy == DispatchPolicy::kPipeline;
+  // Work on a copy of the built groups: quarantine-driven re-placement
+  // mutates stage assignments mid-run, and simulate_admission must stay a
+  // pure function of the pool's built state (two identical runs, identical
+  // schedules).
+  std::vector<PipelineGroup> groups =
+      pipelined ? groups_ : std::vector<PipelineGroup>{};
+  // reserved[p]: PCU p belongs to a pipeline group — never a target for
+  // fallback (group-less) dispatch and exempt from autoscaler shrink. All
+  // zero unless pipelined, so every guard below is inert otherwise.
+  std::vector<unsigned char> reserved(pcus_.size(), 0);
+  // pinned[g][j]: stage j of group g has paid its one-time pin (the stage
+  // range's first-layer recalibration). Reset on re-placement: new stage
+  // ranges mean freshly reprogrammed banks.
+  std::vector<std::vector<unsigned char>> pinned(groups.size());
+  // last_healthy[g]: the member subset group g is currently placed over.
+  std::vector<std::vector<std::size_t>> last_healthy(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    pinned[g].assign(groups[g].stages.size(), 0);
+    last_healthy[g] = groups[g].members;
+    for (std::size_t p : groups[g].members) reserved[p] = 1;
+  }
+  result.pipeline.groups = groups.size();
+  if (pipelined && scaler.enabled) {
+    // Pipeline members are statically placed; parking one would stall its
+    // whole group. They are always active (and shrink_idle skips them).
+    for (std::size_t p = 0; p < pcus_.size(); ++p) {
+      if (reserved[p] && !active[p]) {
+        active[p] = 1;
+        active_count += 1;
+      }
+    }
+  }
+
   // Per-PCU health state (inert without faults).
   std::vector<HealthState> health(pcus_.size(), HealthState::kHealthy);
   std::vector<double> degrade_mult(pcus_.size(), 1.0);
@@ -343,6 +610,16 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
   // fault_active): destroyed attempts stay in place until the final stable
   // compaction so in-flight bookkeeping can index the schedule directly.
   std::vector<unsigned char> cancelled;
+  // In-flight *pipelined* attempts (maintained only when fault_active and
+  // pipelined): a pipelined request occupies several PCUs over disjoint
+  // stage spans, so fault events must search the committed spans — the
+  // single-PCU `inflight` slots cannot represent it. Entries go stale once
+  // their schedule entry is cancelled or past; scans skip those.
+  struct PipeInflight {
+    std::size_t sched_index;
+    PendingRequest req;
+  };
+  std::vector<PipeInflight> pipe_inflight;
   std::set<RetryEntry, RetryOrder> retries;
   std::size_t fault_cursor = 0;
   if (fault_active) result.fault.per_pcu.resize(pcus_.size());
@@ -569,6 +846,7 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
 
   const bool deferred = policy == DispatchPolicy::kEdf ||
                         policy == DispatchPolicy::kModelAffinity ||
+                        policy == DispatchPolicy::kPipeline ||
                         options.shed_expired || scaler.enabled ||
                         fault_active;
 
@@ -636,7 +914,8 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
   // order degenerates to FIFO and only the per-model deferrals reorder.
   std::set<PendingRequest, UrgencyOrder> pending(
       UrgencyOrder{policy == DispatchPolicy::kEdf ||
-                   policy == DispatchPolicy::kModelAffinity});
+                   policy == DispatchPolicy::kModelAffinity ||
+                   policy == DispatchPolicy::kPipeline});
 
   double now = 0.0;
   double last_event = 0.0;
@@ -722,6 +1001,21 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
                        fl.completion, fl.completion);
           inflight[p].valid = false;
         }
+        // A pipelined attempt is corrupted when the fault lands inside one
+        // of its stage spans on p; the corruption surfaces only when the
+        // final stage completes (earlier stages hand off silently).
+        for (const PipeInflight& pf : pipe_inflight) {
+          if (cancelled[pf.sched_index]) continue;
+          const ScheduledService& s = result.schedule[pf.sched_index];
+          for (const StageService& st : s.stages) {
+            if (st.pcu == p && st.start <= e.time &&
+                e.time < st.completion) {
+              lose_attempt(pf.req, pf.sched_index, p, FaultKind::kTransient,
+                           s.completion, s.completion);
+              break;
+            }
+          }
+        }
         return;
       }
       case FaultKind::kDegrade: {
@@ -764,6 +1058,20 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
                        e.time + faults.detection_latency);
           inflight[p].valid = false;
         }
+        // A crash on p kills every pipelined attempt with a stage span on
+        // p not yet complete at fault time — including future spans, whose
+        // activation would arrive at a dead PCU.
+        for (const PipeInflight& pf : pipe_inflight) {
+          if (cancelled[pf.sched_index]) continue;
+          const ScheduledService& s = result.schedule[pf.sched_index];
+          for (const StageService& st : s.stages) {
+            if (st.pcu == p && st.completion > e.time) {
+              lose_attempt(pf.req, pf.sched_index, p, FaultKind::kCrash,
+                           e.time, e.time + faults.detection_latency);
+              break;
+            }
+          }
+        }
         return;
       }
       case FaultKind::kRecover:
@@ -786,6 +1094,25 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
         return;
     }
     throw Error("invalid FaultKind");
+  };
+
+  // Re-place every pipeline group whose healthy member set changed — a
+  // member got quarantined or declared dead (excluded) or repaired back in.
+  // place_pipeline is a pure function of the surviving members, so the
+  // re-placement is deterministic; pins reset because new stage ranges mean
+  // freshly reprogrammed banks.
+  const auto refresh_pipelines = [&] {
+    if (!pipelined) return;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      std::vector<std::size_t> healthy_members;
+      for (std::size_t p : groups[g].members)
+        if (!excluded[p]) healthy_members.push_back(p);
+      if (healthy_members == last_healthy[g]) continue;
+      last_healthy[g] = healthy_members;
+      place_pipeline(groups[g], healthy_members);
+      pinned[g].assign(groups[g].stages.size(), 0);
+      result.pipeline.replacements += 1;
+    }
   };
 
   // Earliest pending health timer (ties: lowest PCU index).
@@ -829,6 +1156,9 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
         apply_fault(faults.schedule[fault_cursor]);
         fault_cursor += 1;
       }
+      // Either branch may have changed a PCU's exclusion; pipeline groups
+      // re-place over their surviving members immediately.
+      refresh_pipelines();
     }
   };
 
@@ -866,7 +1196,10 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
   const auto shrink_idle = [&] {
     if (scaler.shrink_after_idle <= 0.0) return;
     for (std::size_t i = pcus_.size(); i-- > 0 && active_count > min_active;) {
-      if (!active[i]) continue;
+      // A reserved PCU (pipeline group member) is never parked: the group
+      // admits work at the head's pace and any member going cold would
+      // stall the whole chain. `reserved` is all-zero without kPipeline.
+      if (!active[i] || reserved[i]) continue;
       const double idle_from = std::max(free_at[i], activated_at[i]);
       if (now - idle_from >= scaler.shrink_after_idle) {
         active[i] = 0;
@@ -894,6 +1227,41 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
       activated_at[p] = now;
       active_count += 1;
       result.autoscaler.scale_ups += 1;
+    }
+    // Under kPipeline, reserved group members inflate active_count but
+    // never serve group-less models, so the backlog threshold alone can
+    // park every unreserved PCU forever. If a pending request's model has
+    // no (surviving) pipeline group while no unreserved PCU is awake,
+    // force one up — the fallback path must never starve behind the
+    // reserved fleet.
+    if (pipelined && active_count < max_active) {
+      bool groupless_pending = false;
+      for (const PendingRequest& r : pending) {
+        const PipelineGroup* g = nullptr;
+        for (const PipelineGroup& cand : groups)
+          if (cand.model == r.model) g = &cand;
+        if (g == nullptr || g->stages.empty()) {
+          groupless_pending = true;
+          break;
+        }
+      }
+      bool any_unreserved_awake = false;
+      if (groupless_pending) {
+        for (std::size_t p = 0; p < pcus_.size(); ++p)
+          if (active[p] && !reserved[p] && !excluded[p])
+            any_unreserved_awake = true;
+      }
+      if (groupless_pending && !any_unreserved_awake) {
+        for (std::size_t p = 0; p < pcus_.size(); ++p) {
+          if (active[p] || excluded[p] || reserved[p]) continue;
+          active[p] = 1;
+          force_cold[p] = 1;
+          activated_at[p] = now;
+          active_count += 1;
+          result.autoscaler.scale_ups += 1;
+          break;
+        }
+      }
     }
   };
 
@@ -931,6 +1299,12 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
           if (inflight[p].valid && !cancelled[inflight[p].sched_index])
             in_flight_until =
                 std::max(in_flight_until, inflight[p].completion);
+        }
+        for (const PipeInflight& pf : pipe_inflight) {
+          if (!cancelled[pf.sched_index])
+            in_flight_until =
+                std::max(in_flight_until,
+                         result.schedule[pf.sched_index].completion);
         }
         const double ev = next_health_event();
         if (ev <= in_flight_until) next = std::min(next, ev);
@@ -1033,7 +1407,129 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
         return allow_degraded || health[p] != HealthState::kDegraded;
       };
 
-      if (policy == DispatchPolicy::kModelAffinity) {
+      if (policy == DispatchPolicy::kPipeline) {
+        // Route to the model's pipeline group. The head PCU gates
+        // admission: a new image enters the pipeline when stage 0 frees,
+        // and downstream stages chain from the hand-off instants.
+        std::size_t gi = groups.size();
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+          if (groups[g].model == r.model) {
+            gi = g;
+            break;
+          }
+        }
+        if (gi < groups.size() && !groups[gi].stages.empty()) {
+          const PipelineGroup& g = groups[gi];
+          const std::size_t head = g.stages.front().pcu;
+          if (free_at[head] > now) continue; // defer until stage 0 frees
+          // Chain the stage spans: stage j starts once the previous
+          // stage's activation has crossed the inter-stage link AND the
+          // stage's PCU is free (busy with image i-1 of the same stream).
+          std::vector<StageService> spans;
+          spans.reserve(g.stages.size());
+          double prev = now;
+          double total_pin = 0.0;
+          double total_handoff = 0.0;
+          for (std::size_t j = 0; j < g.stages.size(); ++j) {
+            const PipelineStage& st = g.stages[j];
+            const double handoff = j == 0 ? 0.0 : g.handoff_time;
+            const double start = std::max(prev + handoff, free_at[st.pcu]);
+            // The pin — the stage range's first-layer recalibration — is
+            // paid once per placement; afterwards the stage's banks never
+            // change (that is the whole point of pipelining: zero swaps).
+            const double pin =
+                (pinned[gi][j] ? 0.0 : st.timings.pin) *
+                degrade_factor(st.pcu);
+            const double span =
+                st.timings.interval * degrade_factor(st.pcu) + pin;
+            spans.push_back({j, st.pcu, st.op_begin, st.op_end, start,
+                             start + span, pin, handoff});
+            total_pin += pin;
+            total_handoff += handoff;
+            prev = start + span;
+          }
+          const double completion = spans.back().completion;
+          if (options.shed_expired && completion > r.deadline) {
+            result.shed.shed += 1;
+            result.shed.per_tenant[r.tenant] += 1;
+            result.shed.decisions.push_back(
+                {r.id, r.tenant, r.priority, r.arrival, r.deadline, now});
+          } else {
+            for (std::size_t j = 0; j < spans.size(); ++j) {
+              const std::size_t p = spans[j].pcu;
+              free_at[p] = spans[j].completion;
+              served[p] += 1;
+              force_cold[p] = 0;
+              programmed[p] = r.model;
+              pinned[gi][j] = 1;
+            }
+            ScheduledService entry;
+            entry.id = r.id;
+            entry.pcu = head;
+            entry.arrival = r.arrival;
+            entry.start = spans.front().start;
+            entry.completion = completion;
+            entry.warmup = total_pin;
+            entry.tenant = r.tenant;
+            entry.priority = r.priority;
+            entry.deadline = r.deadline;
+            entry.model = r.model;
+            entry.attempts = r.attempts;
+            entry.stages = std::move(spans);
+            result.schedule.push_back(std::move(entry));
+            result.pipeline.pipelined_requests += 1;
+            result.pipeline.stage_spans +=
+                result.schedule.back().stages.size();
+            result.pipeline.pin_time += total_pin;
+            result.pipeline.handoff_time += total_handoff;
+            if (fault_active) {
+              cancelled.push_back(0);
+              const std::size_t idx = result.schedule.size() - 1;
+              // Dispatching across an undetected-dead stage PCU is a
+              // black hole, same as the single-PCU case: the loss is only
+              // noticed at the predicted completion.
+              std::size_t dead_pcu = pcus_.size();
+              for (const StageService& s : result.schedule[idx].stages) {
+                if (health[s.pcu] == HealthState::kFailed) {
+                  dead_pcu = s.pcu;
+                  break;
+                }
+              }
+              if (dead_pcu < pcus_.size()) {
+                lose_attempt(r, idx, dead_pcu, FaultKind::kCrash,
+                             completion, completion);
+              } else {
+                pipe_inflight.push_back({idx, r});
+              }
+            }
+          }
+          pending.erase(it);
+          acted = true;
+          break;
+        }
+        // No pipeline group for this model — or the group lost every
+        // member. Fall back to least-loaded over the unreserved fleet so
+        // mixed deployments (some models pipelined, some not) still serve.
+        for (std::size_t p = 0; p < pcus_.size(); ++p) {
+          if (reserved[p] || !elig(p) || free_at[p] > now) continue;
+          const double score = now + blind_service(p, r.model, now);
+          if (score < best_score) {
+            best_score = score;
+            best = p;
+          }
+        }
+        if (best == pcus_.size()) {
+          bool any_unreserved = false;
+          for (std::size_t p = 0; p < pcus_.size(); ++p)
+            if (!reserved[p] && active[p] && capable(p, r.model))
+              any_unreserved = true;
+          PCNNA_CHECK_MSG(any_unreserved || fault_active,
+                          "model " << r.model
+                                   << " has no pipeline group and every "
+                                      "PCU is reserved by one");
+          continue; // defer until an unreserved PCU frees
+        }
+      } else if (policy == DispatchPolicy::kModelAffinity) {
         // (a) Free PCU already programmed with r.model: earliest truthful
         // completion wins (no swap by construction).
         for (std::size_t p = 0; p < pcus_.size(); ++p) {

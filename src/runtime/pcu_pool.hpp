@@ -104,6 +104,20 @@ enum class DispatchPolicy {
   /// bench measures). Always event-driven: deferral decisions need the
   /// fleet state at the moment a PCU frees.
   kModelAffinity,
+  /// Pipeline-parallel serving. A request whose model has a PipelineGroup
+  /// (see PcuPool::build_pipeline) is routed to the group's head stage as
+  /// soon as the head PCU is free; its service is the chain of per-stage
+  /// spans — stage n of image i overlapping stage n-1 of image i+1 — with
+  /// the inter-stage activation hand-off charged at every boundary. Stage
+  /// banks are pinned: the first image through a stage pays its pin and
+  /// the group never swaps afterwards. Requests whose model has no group
+  /// (or whose group lost every healthy member) fall back to least-loaded
+  /// over the PCUs no group reserves. Pending requests are considered in
+  /// EDF urgency order, and shedding, the autoscaler (reserved PCUs are
+  /// held active), and fault quarantine compose — a quarantined or
+  /// crashed stage PCU triggers a deterministic re-placement of the group
+  /// over its remaining healthy members. Always event-driven.
+  kPipeline,
 };
 
 const char* dispatch_policy_name(DispatchPolicy policy);
@@ -112,7 +126,64 @@ const char* dispatch_policy_name(DispatchPolicy policy);
 inline constexpr DispatchPolicy kAllDispatchPolicies[] = {
     DispatchPolicy::kEarliestFree, DispatchPolicy::kLeastLoaded,
     DispatchPolicy::kCapabilityAware, DispatchPolicy::kEdf,
-    DispatchPolicy::kModelAffinity};
+    DispatchPolicy::kModelAffinity, DispatchPolicy::kPipeline};
+
+/// One pinned stage of a PipelineGroup: a contiguous op range of the
+/// group's model resident on one PCU. Timing constants come from that
+/// PCU's Pcu::stage_timings and are refreshed on re-placement.
+struct PipelineStage {
+  std::size_t pcu = 0;
+  std::size_t op_begin = 0;
+  std::size_t op_end = 0;
+  /// Partitioner balance cost of the range (channel_split_passes share).
+  std::size_t cost = 0;
+  StageTimings timings;
+};
+
+/// A model pinned across a chain of PCUs, one contiguous layer range each.
+/// Built by PcuPool::build_pipeline; DispatchPolicy::kPipeline routes the
+/// model's requests through it head-first.
+struct PipelineGroup {
+  std::uint32_t model = 0;
+  /// Inter-stage activation hand-off charged at each stage boundary [s]
+  /// (the feature map leaves stage n's DRAM and enters stage n+1's).
+  double handoff_time = 0.0;
+  /// The PCUs this group may place stages on (the build-time set, fixed).
+  std::vector<std::size_t> members;
+  /// Per-op partition weights (priced on the strongest member at build).
+  std::vector<std::size_t> op_costs;
+  /// Current placement, head first. Re-placement after quarantine keeps
+  /// `members`/`op_costs` and rebuilds this vector deterministically;
+  /// empty when no member is healthy (the group is down).
+  std::vector<PipelineStage> stages;
+};
+
+/// One stage's span inside a pipelined request's service — the per-stage
+/// breakdown of a ScheduledService whose model ran on a PipelineGroup.
+struct StageService {
+  std::size_t stage = 0; ///< stage index within the group
+  std::size_t pcu = 0;   ///< PCU the stage ran on
+  std::size_t op_begin = 0; ///< op range the stage ran
+  std::size_t op_end = 0;
+  double start = 0.0;      ///< [s]
+  double completion = 0.0; ///< [s]
+  /// One-time bank pin charged inside this span [s]; 0 once the stage is
+  /// warm (a pinned stage never re-pays it and never swaps).
+  double pin = 0.0;
+  /// Activation hand-off charged between the previous stage's completion
+  /// and this span's start [s]; 0 for the head stage.
+  double handoff = 0.0;
+};
+
+/// Pipeline outcome of one admission run (zeros without pipeline groups).
+struct PipelineStats {
+  std::size_t groups = 0;            ///< groups configured on the pool
+  std::size_t pipelined_requests = 0;///< requests served through a group
+  std::size_t stage_spans = 0;       ///< total per-stage spans committed
+  std::size_t replacements = 0;      ///< deterministic stage re-placements
+  double pin_time = 0.0;             ///< Σ pins charged [s]
+  double handoff_time = 0.0;         ///< Σ hand-offs charged [s]
+};
 
 /// One request's place in the deterministic virtual-time schedule.
 /// All times are simulated seconds; queueing delay is start - arrival,
@@ -146,6 +217,11 @@ struct ScheduledService {
   /// destroyed earlier attempts and this is the retry that finally served
   /// the request (always 1 without fault injection).
   std::uint32_t attempts = 1;
+  /// Per-stage spans when this request ran on a PipelineGroup (pcu is then
+  /// the head stage's PCU, start/completion the chain's ends, and warmup
+  /// the total pin charged across stages). Empty for non-pipelined
+  /// service.
+  std::vector<StageService> stages;
 };
 
 /// Elastic fleet sizing for the admission loop. When enabled, dispatch
@@ -235,6 +311,9 @@ struct AdmissionResult {
   /// Fault-tolerance outcome (trivial when AdmissionOptions::faults is
   /// empty). Requests in `fault.losses` appear in no schedule entry.
   FaultReport fault;
+  /// Pipeline-parallel outcome (zeros unless groups are configured and
+  /// the policy is DispatchPolicy::kPipeline).
+  PipelineStats pipeline;
 };
 
 class PcuPool {
@@ -284,6 +363,37 @@ class PcuPool {
     return min_split_passes_.at(model);
   }
 
+  /// Build a pipeline group for `model` over `pcus`: core::StagePartitioner
+  /// splits the model into pcus.size() contiguous op ranges balanced by
+  /// channel_split_passes (costs priced on the strongest member), and the
+  /// capability assignment gives the heaviest stage to the strongest PCU —
+  /// steering small-core members to light stages. `handoff_time` is the
+  /// activation hand-off charged per stage boundary [s]. Returns the group
+  /// index. At most one group per model; a PCU may belong to at most one
+  /// group (its banks are pinned to that group's stage). Only
+  /// DispatchPolicy::kPipeline consults groups — every other policy
+  /// ignores them entirely.
+  std::size_t build_pipeline(std::uint32_t model,
+                             const std::vector<std::size_t>& pcus,
+                             double handoff_time = 0.0);
+
+  std::size_t num_pipelines() const { return groups_.size(); }
+  const PipelineGroup& pipeline(std::size_t group) const {
+    return groups_.at(group);
+  }
+  /// The group serving `model`, or nullptr if none was built for it.
+  const PipelineGroup* pipeline_for_model(std::uint32_t model) const;
+
+  /// Re-place a group's stages over `candidates` (healthy members):
+  /// re-partition op_costs into min(members, candidates) ranges, reassign
+  /// heaviest-stage-to-strongest-PCU, and refresh stage timings from the
+  /// owning PCUs. Clears g.stages when `candidates` is empty. Pure
+  /// function of (g.members ∩ candidates) — the deterministic
+  /// re-placement the admission loop runs when a stage PCU is quarantined
+  /// (on a *copy* of the group; the pool's own groups never mutate).
+  void place_pipeline(PipelineGroup& g,
+                      const std::vector<std::size_t>& candidates) const;
+
   /// Drain `queue` with one worker thread per PCU and return the results
   /// ordered by request id. Work is sharded dynamically, which is only
   /// output-safe on a homogeneous pool (any PCU computes the same bits for
@@ -308,6 +418,20 @@ class PcuPool {
   /// correct under shedding). Results come back ordered by request id.
   /// Rethrows the first worker exception after all threads join.
   std::vector<RequestResult> serve_scheduled(
+      std::vector<InferenceRequest> requests,
+      const std::vector<ScheduledService>& schedule, bool simulate_values);
+
+  /// serve_scheduled for a schedule containing pipelined entries: each
+  /// ScheduledService with stage spans runs as a chain — every stage
+  /// executes on exactly the PCU its span names, in span-start order per
+  /// PCU, handing the activation and the engine RNG state to the next
+  /// stage (Pcu::serve_stage). One worker thread per PCU: stage n of
+  /// image i really does overlap stage n-1 of image i+1 on the host.
+  /// Entries without stage spans serve exactly as in serve_scheduled, so a
+  /// mixed schedule (pipelined models + fallback data-parallel models) is
+  /// fine. The span chains come from the deterministic admission loop, so
+  /// the dependency order is acyclic and outputs are deterministic.
+  std::vector<RequestResult> serve_pipelined(
       std::vector<InferenceRequest> requests,
       const std::vector<ScheduledService>& schedule, bool simulate_values);
 
@@ -390,6 +514,8 @@ class PcuPool {
   bool homogeneous_ = true;
   /// Fleet-minimum split passes, one entry per registered model.
   std::vector<std::size_t> min_split_passes_;
+  /// Pipeline groups (at most one per model; see build_pipeline).
+  std::vector<PipelineGroup> groups_;
 };
 
 } // namespace pcnna::runtime

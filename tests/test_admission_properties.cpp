@@ -9,11 +9,17 @@
 //    may depend on it, so schedules are bit-identical across settings;
 //  * adversarial EDF tie-breaks: requests tied on (class, deadline,
 //    arrival) are ordered by id and nothing else — push order, model ids
-//    and PCU history must not leak into the order.
+//    and PCU history must not leak into the order;
+//  * randomized property sweep: for every dispatch policy x seed x fault
+//    schedule, admission conserves requests (offered == served + shed +
+//    lost), virtual time is monotone on the event-driven path, and no two
+//    services — including pipeline stage spans — overlap on one PCU.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -81,7 +87,25 @@ void expect_bit_identical(const AdmissionResult& a, const AdmissionResult& b) {
     EXPECT_EQ(x.swap, y.swap) << "entry " << i;
     EXPECT_EQ(x.swapped, y.swapped) << "entry " << i;
     EXPECT_EQ(x.attempts, y.attempts) << "entry " << i;
+    ASSERT_EQ(x.stages.size(), y.stages.size()) << "entry " << i;
+    for (std::size_t j = 0; j < x.stages.size(); ++j) {
+      EXPECT_EQ(x.stages[j].stage, y.stages[j].stage) << i << "/" << j;
+      EXPECT_EQ(x.stages[j].pcu, y.stages[j].pcu) << i << "/" << j;
+      EXPECT_EQ(x.stages[j].op_begin, y.stages[j].op_begin) << i << "/" << j;
+      EXPECT_EQ(x.stages[j].op_end, y.stages[j].op_end) << i << "/" << j;
+      EXPECT_EQ(x.stages[j].start, y.stages[j].start) << i << "/" << j;
+      EXPECT_EQ(x.stages[j].completion, y.stages[j].completion)
+          << i << "/" << j;
+      EXPECT_EQ(x.stages[j].pin, y.stages[j].pin) << i << "/" << j;
+      EXPECT_EQ(x.stages[j].handoff, y.stages[j].handoff) << i << "/" << j;
+    }
   }
+  EXPECT_EQ(a.pipeline.groups, b.pipeline.groups);
+  EXPECT_EQ(a.pipeline.pipelined_requests, b.pipeline.pipelined_requests);
+  EXPECT_EQ(a.pipeline.stage_spans, b.pipeline.stage_spans);
+  EXPECT_EQ(a.pipeline.replacements, b.pipeline.replacements);
+  EXPECT_EQ(a.pipeline.pin_time, b.pipeline.pin_time);
+  EXPECT_EQ(a.pipeline.handoff_time, b.pipeline.handoff_time);
   ASSERT_EQ(a.shed.shed, b.shed.shed);
   ASSERT_EQ(a.shed.decisions.size(), b.shed.decisions.size());
   for (std::size_t i = 0; i < a.shed.decisions.size(); ++i) {
@@ -419,6 +443,198 @@ TEST(EdfTieBreak, ModelAffinityUsesTheSameUrgencyOrderOnTies) {
   // the first.
   EXPECT_FALSE(r.schedule[0].swapped);
   for (std::size_t i = 1; i < 4; ++i) EXPECT_TRUE(r.schedule[i].swapped);
+}
+
+// --- Randomized property sweep (satellite) ---
+//
+// Structural invariants every admission run must satisfy, no matter the
+// policy, seed, or fault schedule:
+//  1. conservation — every offered request is served, shed, or lost,
+//     exactly once: offered == schedule + shed + fault losses;
+//  2. monotone virtual time — on the event-driven path every dispatch
+//     commits at the loop's current `now`, so schedule entries (stable
+//     under fault compaction) carry nondecreasing start times;
+//  3. no double-booking — the service intervals charged to one PCU never
+//     overlap, counting pipeline stage spans on their stage PCUs.
+
+/// Like adversarial_stream, but fully re-seedable so the sweep can draw
+/// many independent streams. ~1.5x overload on a 4-PCU pool.
+std::vector<InferenceRequest> seeded_stream(const PcuPool& pool,
+                                            std::size_t count,
+                                            std::uint64_t seed) {
+  const double interval = pool.pcu(0).request_interval_overlapped(0);
+  const double warmup = pool.pcu(0).warmup_time(0);
+  const ArrivalSchedule arrivals =
+      runtime::poisson_arrivals(count, 6.0 / interval, seed);
+  Rng rng(seed * 7919 + 1);
+  std::vector<InferenceRequest> requests;
+  for (std::size_t id = 0; id < count; ++id) {
+    InferenceRequest r;
+    r.id = id;
+    r.arrival_time = arrivals[id];
+    r.model_id = static_cast<std::uint32_t>(rng.next_u64() % 2);
+    const std::uint64_t cls = rng.next_u64() % 3;
+    r.priority = cls == 0 ? PriorityClass::kInteractive
+                          : (cls == 1 ? PriorityClass::kStandard
+                                      : PriorityClass::kBestEffort);
+    r.tenant = static_cast<std::uint32_t>(cls);
+    r.deadline = arrivals[id] + warmup +
+                 (2.0 + static_cast<double>(rng.next_u64() % 8)) * interval;
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+void check_admission_invariants(const AdmissionResult& r, std::size_t offered,
+                                std::size_t num_pcus, bool event_driven) {
+  // 1. Conservation.
+  EXPECT_EQ(offered,
+            r.schedule.size() + r.shed.shed + r.fault.lost_requests);
+  EXPECT_EQ(r.fault.lost_requests, r.fault.losses.size());
+
+  std::vector<std::vector<std::pair<double, double>>> busy(num_pcus);
+  double prev_start = -std::numeric_limits<double>::infinity();
+  for (const ScheduledService& s : r.schedule) {
+    EXPECT_LE(s.arrival, s.start) << "request " << s.id;
+    EXPECT_LT(s.start, s.completion) << "request " << s.id;
+    // 2. Monotone virtual time (event-driven dispatches commit at `now`;
+    // fault compaction is stable, so the order survives retries).
+    if (event_driven) {
+      EXPECT_GE(s.start, prev_start) << "request " << s.id;
+      prev_start = s.start;
+    }
+    if (s.stages.empty()) {
+      ASSERT_LT(s.pcu, num_pcus);
+      busy[s.pcu].push_back({s.start, s.completion});
+    } else {
+      // Pipelined entry: spans chain forward through the group and the
+      // head entry brackets the chain exactly.
+      EXPECT_EQ(s.stages.front().start, s.start) << "request " << s.id;
+      EXPECT_EQ(s.stages.back().completion, s.completion)
+          << "request " << s.id;
+      for (std::size_t j = 0; j < s.stages.size(); ++j) {
+        const runtime::StageService& st = s.stages[j];
+        EXPECT_EQ(j, st.stage) << "request " << s.id;
+        ASSERT_LT(st.pcu, num_pcus);
+        EXPECT_LT(st.start, st.completion) << "request " << s.id;
+        if (j > 0) {
+          EXPECT_GE(st.start, s.stages[j - 1].completion + st.handoff)
+              << "request " << s.id << " stage " << j;
+        }
+        busy[st.pcu].push_back({st.start, st.completion});
+      }
+    }
+  }
+  // 3. No double-booking per PCU.
+  for (std::size_t p = 0; p < num_pcus; ++p) {
+    std::sort(busy[p].begin(), busy[p].end());
+    for (std::size_t i = 1; i < busy[p].size(); ++i) {
+      EXPECT_GE(busy[p][i].first, busy[p][i - 1].second)
+          << "PCU " << p << " double-booked: [" << busy[p][i - 1].first
+          << ", " << busy[p][i - 1].second << ") overlaps ["
+          << busy[p][i].first << ", " << busy[p][i].second << ")";
+    }
+  }
+}
+
+TEST(AdmissionInvariants, HoldForEveryPolicySeedAndFaultSchedule) {
+  const TwoModels t = make_two_models();
+  PcuPool pool(4, PcnnaConfig::paper_defaults(), TimingFidelity::kFull,
+               t.net, t.weights_a);
+  pool.register_model(t.net, t.weights_b);
+  // Model 1 pinned across a 2-stage chain (tiny_cnn has 2 conv ops);
+  // non-pipeline policies ignore the group, kPipeline routes model 1
+  // through it and model 0 to the unreserved remainder.
+  pool.build_pipeline(/*model=*/1, {0, 1});
+  const double interval = pool.pcu(0).request_interval_overlapped(0);
+  constexpr std::size_t kCount = 300;
+
+  runtime::FaultModel hazard;
+  hazard.mtbf = 50.0 * interval;
+  hazard.horizon = 200.0 * interval;
+  hazard.mean_time_to_repair = 15.0 * interval;
+  hazard.crash_weight = 3.0;
+
+  for (const DispatchPolicy policy : runtime::kAllDispatchPolicies) {
+    for (const std::uint64_t seed : {7u, 21u, 63u}) {
+      for (const int fault_mode : {0, 1, 2}) {
+        AdmissionOptions o;
+        o.policy = policy;
+        o.shed_expired = true; // forces the event-driven path everywhere
+        if (fault_mode > 0) {
+          o.faults.schedule =
+              runtime::poisson_faults(4, hazard, 100 + seed);
+          o.faults.health_aware = fault_mode == 2;
+          o.faults.detection_latency = 0.5 * interval;
+          o.faults.retry.backoff_base = 0.25 * interval;
+          o.faults.repair_time = 2.0 * interval;
+        }
+        SCOPED_TRACE(std::string(runtime::dispatch_policy_name(policy)) +
+                     " seed " + std::to_string(seed) + " faults " +
+                     std::to_string(fault_mode));
+        const AdmissionResult a =
+            admit(pool, seeded_stream(pool, kCount, seed), o);
+        ASSERT_GT(a.schedule.size(), 0u);
+        check_admission_invariants(a, kCount, 4, /*event_driven=*/true);
+        // Purity: the same inputs reproduce the same schedule, bit for
+        // bit — across policies, seeds and fault schedules alike.
+        const AdmissionResult b =
+            admit(pool, seeded_stream(pool, kCount, seed), o);
+        expect_bit_identical(a, b);
+      }
+    }
+  }
+}
+
+TEST(AdmissionInvariants, ConservationHoldsOnTheEagerPath) {
+  const TwoModels t = make_two_models();
+  PcuPool pool(3, PcnnaConfig::paper_defaults(), TimingFidelity::kFull,
+               t.net, t.weights_a);
+  pool.register_model(t.net, t.weights_b);
+  // Eager FIFO (no shed, no deferral): start times follow per-PCU queues,
+  // not a global clock, so only conservation and non-overlap apply.
+  for (const DispatchPolicy policy :
+       {DispatchPolicy::kEarliestFree, DispatchPolicy::kLeastLoaded,
+        DispatchPolicy::kCapabilityAware}) {
+    AdmissionOptions o;
+    o.policy = policy;
+    SCOPED_TRACE(runtime::dispatch_policy_name(policy));
+    const AdmissionResult r =
+        admit(pool, seeded_stream(pool, 200, 5), o);
+    check_admission_invariants(r, 200, 3, /*event_driven=*/false);
+  }
+}
+
+TEST(AdmissionInvariants, PipelineScheduleBitIdenticalAcrossEngineThreads) {
+  const TwoModels t = make_two_models();
+  const auto build = [&](std::size_t threads) {
+    PcuSpec spec;
+    spec.config = PcnnaConfig::paper_defaults();
+    spec.engine_threads = threads;
+    return PcuPool(std::vector<PcuSpec>(4, spec), TimingFidelity::kFull,
+                   t.net, t.weights_a);
+  };
+  PcuPool one = build(1);
+  PcuPool many = build(8);
+  for (PcuPool* pool : {&one, &many}) {
+    pool->register_model(t.net, t.weights_b);
+    pool->build_pipeline(/*model=*/1, {0, 1});
+  }
+  const double interval = one.pcu(0).request_interval_overlapped(0);
+
+  AdmissionOptions o;
+  o.policy = DispatchPolicy::kPipeline;
+  o.shed_expired = true;
+  o.autoscaler.enabled = true;
+  o.autoscaler.min_active = 1;
+  o.autoscaler.backlog_per_pcu = 1.5;
+  o.autoscaler.shrink_after_idle = 3.0 * interval;
+
+  const AdmissionResult a = admit(one, seeded_stream(one, 400, 17), o);
+  const AdmissionResult b = admit(many, seeded_stream(many, 400, 17), o);
+  ASSERT_GT(a.pipeline.pipelined_requests, 0u);
+  expect_bit_identical(a, b);
+  check_admission_invariants(a, 400, 4, /*event_driven=*/true);
 }
 
 } // namespace
