@@ -1,11 +1,15 @@
 // Layer trace: event-by-event timeline of one AlexNet layer on PCNNA.
 //
 //   layer_trace [conv1|conv2|conv3|conv4|conv5] [--per-channel]
+//               [--chrome-out PATH]
 //
 // Prints the event-driven schedule (weight programming, per-location DAC /
 // optical / ADC / SRAM stages, concurrent DRAM streams) plus a busy-time
 // summary per resource — the microscope view behind the Fig. 6 numbers.
+// --chrome-out additionally writes the trace as Chrome trace-event JSON
+// (one track per device resource) for Perfetto / chrome://tracing.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -18,10 +22,13 @@ using namespace pcnna;
 
 int main(int argc, char** argv) {
   std::string which = "conv3";
+  std::string chrome_out;
   core::PcnnaConfig cfg = core::PcnnaConfig::paper_defaults();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--per-channel") == 0) {
       cfg.allocation = core::RingAllocation::kPerChannel;
+    } else if (std::strcmp(argv[i], "--chrome-out") == 0 && i + 1 < argc) {
+      chrome_out = argv[++i];
     } else {
       which = argv[i];
     }
@@ -63,5 +70,13 @@ int main(int argc, char** argv) {
             << "  (weights programmed by "
             << format_time(trace.weight_load_end) << ", compute done by "
             << format_time(trace.compute_end) << ")\n";
+
+  if (!chrome_out.empty()) {
+    std::ofstream out(chrome_out);
+    core::write_chrome_trace(trace, out);
+    std::cout << "\nwrote " << chrome_out
+              << " (open in Perfetto or chrome://tracing; validate with "
+                 "scripts/trace_summary.py)\n";
+  }
   return 0;
 }

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Unit tests for trace_summary.py — pins the Chrome-trace JSON schema.
+
+Runs against synthetic traces (no C++ build needed), so the docs CI can
+hold the trace contract: valid fleet and device traces pass; malformed
+events, wrong per-PCU totals, and makespan violations fail loudly.
+
+Usage: python3 scripts/test_trace_summary.py
+"""
+
+import copy
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import trace_summary
+
+
+def fleet_trace():
+    """A minimal but complete fleet trace: 2 PCUs, 3 requests, 1 swap,
+    one lost attempt on PCU 1, and matching otherData totals."""
+    events = [
+        {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+         "args": {"name": "pcnna fleet"}},
+        {"ph": "M", "pid": 1, "tid": 0, "name": "thread_name",
+         "args": {"name": "pcu 0"}},
+        {"ph": "M", "pid": 2, "tid": 0, "name": "process_name",
+         "args": {"name": "pcnna tenants"}},
+        # PCU 0: two services, the second swapped banks first.
+        {"ph": "X", "pid": 1, "tid": 0, "name": "req 0", "cat": "service",
+         "ts": 0.0, "dur": 10.0,
+         "args": {"id": 0, "start": 0.0, "end": 1e-5, "warmup": 2e-6,
+                  "swap": 0.0, "swapped": 0}},
+        {"ph": "X", "pid": 1, "tid": 0, "name": "req 1", "cat": "service",
+         "ts": 10.0, "dur": 12.0,
+         "args": {"id": 1, "start": 1e-5, "end": 2.2e-5, "warmup": 2e-6,
+                  "swap": 3e-6, "swapped": 1}},
+        # PCU 1: one service and one fault-destroyed attempt.
+        {"ph": "X", "pid": 1, "tid": 1, "name": "req 2", "cat": "service",
+         "ts": 0.0, "dur": 10.0,
+         "args": {"id": 2, "start": 0.0, "end": 1e-5, "warmup": 2e-6,
+                  "swap": 0.0, "swapped": 0}},
+        {"ph": "X", "pid": 1, "tid": 1, "name": "lost attempt",
+         "cat": "fault", "ts": 10.0, "dur": 4.0,
+         "args": {"id": 3, "attempt": 1, "start": 1e-5, "end": 1.4e-5}},
+        # Tenant-track instant and a queue-depth counter sample.
+        {"ph": "i", "pid": 2, "tid": 0, "name": "shed", "cat": "shed",
+         "ts": 5.0, "args": {"id": 4}},
+        {"ph": "C", "pid": 1, "tid": 0, "name": "queue depth", "ts": 0.0,
+         "args": {"pending": 3}},
+    ]
+    other = {
+        "policy": "edf", "pcus": 2, "spans": 5, "makespan": 2.5e-5,
+        "per_pcu": [
+            {"pcu": 0, "requests": 2, "busy_time": (1e-5 - 0.0) +
+             (2.2e-5 - 1e-5), "warmup_time": 4e-6, "swap_time": 3e-6,
+             "swaps": 1, "lost_attempts": 0, "lost_time": 0.0},
+            {"pcu": 1, "requests": 1, "busy_time": 1e-5,
+             "warmup_time": 2e-6, "swap_time": 0.0, "swaps": 0,
+             "lost_attempts": 1, "lost_time": 1.4e-5 - 1e-5},
+        ],
+    }
+    return {"displayTimeUnit": "ms", "traceEvents": events,
+            "otherData": other}
+
+
+def device_trace():
+    """A LayerTrace-style device trace: no otherData, device category."""
+    return {"displayTimeUnit": "ms", "traceEvents": [
+        {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+         "args": {"name": "pcnna device"}},
+        {"ph": "X", "pid": 1, "tid": 0, "name": "optical", "cat": "device",
+         "ts": 0.0, "dur": 3.0, "args": {"start": 0.0, "end": 3e-6}},
+    ]}
+
+
+def write_tmp(trace, directory):
+    fd, path = tempfile.mkstemp(suffix=".json", dir=directory)
+    with os.fdopen(fd, "w") as f:
+        json.dump(trace, f)
+    return path
+
+
+class ValidateEventsTest(unittest.TestCase):
+    def test_counts_phases(self):
+        counts = trace_summary.validate_events(fleet_trace()["traceEvents"])
+        self.assertEqual(counts["M"], 3)
+        self.assertEqual(counts["X"], 4)
+        self.assertEqual(counts["i"], 1)
+        self.assertEqual(counts["C"], 1)
+
+    def test_rejects_unknown_phase(self):
+        events = [{"ph": "B", "pid": 1, "tid": 0, "name": "x", "ts": 0.0}]
+        with self.assertRaisesRegex(trace_summary.TraceError, "phase"):
+            trace_summary.validate_events(events)
+
+    def test_rejects_missing_duration(self):
+        events = [{"ph": "X", "pid": 1, "tid": 0, "name": "x", "ts": 0.0}]
+        with self.assertRaisesRegex(trace_summary.TraceError, "dur"):
+            trace_summary.validate_events(events)
+
+    def test_rejects_negative_duration(self):
+        events = [{"ph": "X", "pid": 1, "tid": 0, "name": "x", "ts": 0.0,
+                   "dur": -1.0}]
+        with self.assertRaisesRegex(trace_summary.TraceError, "dur"):
+            trace_summary.validate_events(events)
+
+    def test_rejects_unknown_category(self):
+        events = [{"ph": "i", "pid": 1, "tid": 0, "name": "x", "ts": 0.0,
+                   "cat": "mystery"}]
+        with self.assertRaisesRegex(trace_summary.TraceError, "category"):
+            trace_summary.validate_events(events)
+
+    def test_rejects_non_numeric_counter(self):
+        events = [{"ph": "C", "pid": 1, "tid": 0, "name": "q", "ts": 0.0,
+                   "args": {"pending": "three"}}]
+        with self.assertRaisesRegex(trace_summary.TraceError, "numeric"):
+            trace_summary.validate_events(events)
+
+    def test_rejects_non_integer_track_ids(self):
+        events = [{"ph": "i", "pid": "one", "tid": 0, "name": "x",
+                   "ts": 0.0}]
+        with self.assertRaisesRegex(trace_summary.TraceError, "pid"):
+            trace_summary.validate_events(events)
+
+
+class ReconcileTest(unittest.TestCase):
+    def test_exact_reconciliation_passes(self):
+        trace = fleet_trace()
+        got, problems, ok = trace_summary.reconcile(
+            trace["traceEvents"], trace["otherData"])
+        self.assertTrue(ok)
+        self.assertEqual(problems, [])
+        self.assertEqual(got[0]["requests"], 2)
+        self.assertEqual(got[0]["swaps"], 1)
+        self.assertEqual(got[1]["lost_attempts"], 1)
+
+    def test_busy_time_mismatch_fails(self):
+        trace = copy.deepcopy(fleet_trace())
+        trace["otherData"]["per_pcu"][0]["busy_time"] += 1e-3
+        _, problems, ok = trace_summary.reconcile(
+            trace["traceEvents"], trace["otherData"])
+        self.assertFalse(ok)
+        self.assertTrue(any("busy_time" in p for p in problems))
+
+    def test_swap_count_mismatch_fails(self):
+        trace = copy.deepcopy(fleet_trace())
+        trace["otherData"]["per_pcu"][0]["swaps"] = 0
+        _, problems, ok = trace_summary.reconcile(
+            trace["traceEvents"], trace["otherData"])
+        self.assertFalse(ok)
+
+    def test_makespan_before_last_span_fails(self):
+        trace = copy.deepcopy(fleet_trace())
+        trace["otherData"]["makespan"] = 1e-6
+        _, problems, ok = trace_summary.reconcile(
+            trace["traceEvents"], trace["otherData"])
+        self.assertFalse(ok)
+        self.assertTrue(any("makespan" in p for p in problems))
+
+    def test_pcu_count_mismatch_raises(self):
+        trace = copy.deepcopy(fleet_trace())
+        trace["otherData"]["pcus"] = 3
+        with self.assertRaisesRegex(trace_summary.TraceError, "per_pcu"):
+            trace_summary.reconcile(trace["traceEvents"],
+                                    trace["otherData"])
+
+    def test_service_event_on_unknown_pcu_raises(self):
+        trace = copy.deepcopy(fleet_trace())
+        trace["traceEvents"][3]["tid"] = 7
+        with self.assertRaisesRegex(trace_summary.TraceError, "PCU"):
+            trace_summary.reconcile(trace["traceEvents"],
+                                    trace["otherData"])
+
+    def test_tolerance_match_is_noted_not_fatal(self):
+        trace = copy.deepcopy(fleet_trace())
+        trace["otherData"]["per_pcu"][0]["busy_time"] *= (1.0 + 1e-14)
+        _, problems, ok = trace_summary.reconcile(
+            trace["traceEvents"], trace["otherData"])
+        self.assertTrue(ok)
+        self.assertTrue(any("tolerance" in p for p in problems))
+
+
+class EndToEndTest(unittest.TestCase):
+    def run_main(self, *traces):
+        with tempfile.TemporaryDirectory() as d:
+            paths = [write_tmp(t, d) for t in traces]
+            return trace_summary.main(["trace_summary.py"] + paths)
+
+    def test_valid_fleet_and_device_traces_exit_zero(self):
+        self.assertEqual(0, self.run_main(fleet_trace(), device_trace()))
+
+    def test_mismatched_totals_exit_nonzero(self):
+        bad = copy.deepcopy(fleet_trace())
+        bad["otherData"]["per_pcu"][1]["requests"] = 9
+        self.assertEqual(1, self.run_main(bad))
+
+    def test_malformed_json_shape_exits_nonzero(self):
+        self.assertEqual(1, self.run_main({"traceEvents": "nope"}))
+
+    def test_usage_without_files(self):
+        self.assertEqual(2, trace_summary.main(["trace_summary.py"]))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,131 @@
+#include "common/trace_writer.hpp"
+
+#include <ostream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace pcnna {
+
+TraceArg TraceArg::num(std::string key, double value) {
+  TraceArg a;
+  a.key = std::move(key);
+  a.is_number = true;
+  a.number = value;
+  return a;
+}
+
+TraceArg TraceArg::str(std::string key, std::string value) {
+  TraceArg a;
+  a.key = std::move(key);
+  a.text = std::move(value);
+  return a;
+}
+
+void TraceWriter::set_process_name(std::uint32_t pid, std::string name) {
+  Event e;
+  e.phase = 'M';
+  e.pid = pid;
+  e.name = "process_name";
+  e.args.push_back(TraceArg::str("name", std::move(name)));
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                                  std::string name) {
+  Event e;
+  e.phase = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.name = "thread_name";
+  e.args.push_back(TraceArg::str("name", std::move(name)));
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::complete(std::uint32_t pid, std::uint32_t tid,
+                           std::string name, std::string category,
+                           double start_s, double end_s,
+                           std::vector<TraceArg> args) {
+  PCNNA_CHECK_MSG(end_s >= start_s, "trace span '"
+                                        << name << "' ends (" << end_s
+                                        << ") before it starts (" << start_s
+                                        << ")");
+  Event e;
+  e.phase = 'X';
+  e.pid = pid;
+  e.tid = tid;
+  e.start_s = start_s;
+  e.dur_s = end_s - start_s;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::instant(std::uint32_t pid, std::uint32_t tid,
+                          std::string name, std::string category, double t_s,
+                          std::vector<TraceArg> args) {
+  Event e;
+  e.phase = 'i';
+  e.pid = pid;
+  e.tid = tid;
+  e.start_s = t_s;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::counter(std::uint32_t pid, std::string name, double t_s,
+                          std::string series, double value) {
+  Event e;
+  e.phase = 'C';
+  e.pid = pid;
+  e.start_s = t_s;
+  e.name = std::move(name);
+  e.args.push_back(TraceArg::num(std::move(series), value));
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::write(std::ostream& os) const { write(os, nullptr); }
+
+void TraceWriter::write(std::ostream& os,
+                        const std::function<void(JsonWriter&)>& extra) const {
+  JsonWriter json(os);
+  json.begin_object();
+  json.kv("displayTimeUnit", "ms");
+  json.key("traceEvents");
+  json.begin_array();
+  for (const Event& e : events_) {
+    json.begin_object();
+    json.kv("ph", std::string_view(&e.phase, 1));
+    json.kv("pid", static_cast<std::uint64_t>(e.pid));
+    json.kv("tid", static_cast<std::uint64_t>(e.tid));
+    if (e.phase != 'M') json.kv("ts", e.start_s * 1e6); // viewers want us
+    if (e.phase == 'X') json.kv("dur", e.dur_s * 1e6);
+    if (e.phase == 'i') json.kv("s", "t"); // thread-scoped instant
+    json.kv("name", e.name);
+    if (!e.category.empty()) json.kv("cat", e.category);
+    if (!e.args.empty()) {
+      json.key("args");
+      json.begin_object();
+      for (const TraceArg& a : e.args) {
+        if (a.is_number) {
+          json.kv(a.key, a.number);
+        } else {
+          json.kv(a.key, a.text);
+        }
+      }
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  if (extra) extra(json);
+  json.end_object();
+  json.finish();
+  os << "\n";
+}
+
+} // namespace pcnna

@@ -1,0 +1,98 @@
+// Chrome trace-event JSON writer.
+//
+// Serializes timeline events into the Chrome trace-event format (the
+// "JSON object format" with a top-level "traceEvents" array), which loads
+// directly in Perfetto (ui.perfetto.dev) and chrome://tracing. One writer
+// instance buffers events and renders them in insertion order, so the
+// output is a pure function of the call sequence — two identical call
+// sequences produce byte-identical files, which the telemetry determinism
+// tests pin.
+//
+// Track model: Chrome groups events by (pid, tid) and names the groups via
+// "M" metadata events. Callers pick the mapping — the fleet telemetry uses
+// one pid per facet (PCUs, tenants) and one tid per track; the device-level
+// layer trace uses one tid per hardware resource.
+//
+// Times are given in seconds (the unit every simulated clock in this repo
+// uses) and rendered as microseconds, the unit the viewers expect. Exact
+// double-precision values survive the round trip through the file in event
+// args (numbers print as %.17g via JsonWriter), which is what lets
+// scripts/trace_summary.py reconcile per-PCU totals bitwise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pcnna {
+
+class JsonWriter;
+
+/// One key/value annotation on a trace event (the event's "args" object).
+struct TraceArg {
+  std::string key;
+  bool is_number = false;
+  double number = 0.0;
+  std::string text;
+
+  static TraceArg num(std::string key, double value);
+  static TraceArg str(std::string key, std::string value);
+};
+
+class TraceWriter {
+ public:
+  /// Name the process group `pid` ("M"/process_name metadata event).
+  void set_process_name(std::uint32_t pid, std::string name);
+  /// Name the thread track (pid, tid) ("M"/thread_name metadata event).
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                       std::string name);
+
+  /// One complete ("X") event: a span [start_s, end_s] on track (pid, tid).
+  /// end_s must be >= start_s; zero-duration spans are legal.
+  void complete(std::uint32_t pid, std::uint32_t tid, std::string name,
+                std::string category, double start_s, double end_s,
+                std::vector<TraceArg> args = {});
+
+  /// One instant ("i") event at t_s, thread-scoped.
+  void instant(std::uint32_t pid, std::uint32_t tid, std::string name,
+               std::string category, double t_s,
+               std::vector<TraceArg> args = {});
+
+  /// One counter ("C") sample: the viewer plots `series` over time as a
+  /// track named `name` under `pid`.
+  void counter(std::uint32_t pid, std::string name, double t_s,
+               std::string series, double value);
+
+  /// Number of buffered events (metadata included).
+  std::size_t size() const { return events_.size(); }
+
+  /// Serialize as {"displayTimeUnit": "ms", "traceEvents": [...]}.
+  void write(std::ostream& os) const;
+
+  /// Same, but `extra` (if non-null) is invoked with the writer positioned
+  /// inside the top-level object, so callers can append extra sections
+  /// (key + container) next to "traceEvents" — the Chrome format ignores
+  /// unknown top-level keys, and trace_summary.py reads the telemetry's
+  /// reconciliation section from one.
+  void write(std::ostream& os,
+             const std::function<void(JsonWriter&)>& extra) const;
+
+ private:
+  struct Event {
+    char phase = 'X';
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    double start_s = 0.0;
+    double dur_s = 0.0; ///< complete events only
+    std::string name;
+    std::string category;
+    std::vector<TraceArg> args;
+  };
+
+  std::vector<Event> events_;
+};
+
+} // namespace pcnna

@@ -587,6 +587,8 @@ nn::Tensor OpticalConvEngine::conv2d(const nn::Tensor& input,
       stats->adc_conversions += neg_stats.adc_conversions;
       stats->banks_built += neg_stats.banks_built;
       stats->stuck_rings += neg_stats.stuck_rings;
+      stats->patches_streamed += neg_stats.patches_streamed;
+      stats->noise_draws += neg_stats.noise_draws;
     }
     return out;
   }
@@ -705,6 +707,8 @@ nn::Tensor OpticalConvEngine::run_full_kernel(const LayerPlan& plan,
                      /*accumulate=*/false, bias, out, scratch_);
 
   sweep_pixels(ctx, workers, draws_per_pixel, rng_, scratch_, pool_.get());
+  stats.patches_streamed += pixels;
+  if (bw > 0.0) stats.noise_draws += pixels * draws_per_pixel;
 
   for (const EngineScratch::Worker& w : scratch_.workers) {
     stats.optical_passes += w.optical_passes;
@@ -807,6 +811,8 @@ nn::Tensor OpticalConvEngine::run_per_channel(const LayerPlan& plan,
 
     ctx.patch_offset = c * per_channel;
     sweep_pixels(ctx, workers, draws_per_pixel, rng_, scratch_, pool_.get());
+    stats.patches_streamed += pixels;
+    if (bw > 0.0) stats.noise_draws += pixels * draws_per_pixel;
   }
 
   // Undo scaling and add biases once all channel passes have accumulated.

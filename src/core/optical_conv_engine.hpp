@@ -56,6 +56,16 @@ struct EngineStats {
   std::uint64_t optical_passes = 0;    ///< bank passes (fast-clock events)
   std::uint64_t dac_conversions = 0;   ///< input-DAC samples (plan-level)
   std::uint64_t adc_conversions = 0;   ///< output samples digitized
+  /// Kernel-location patches streamed through the engine pixel sweep, one
+  /// per sweep_pixels location (the per-channel path streams every patch
+  /// once per input channel). Filled by the streaming engine only; the
+  /// frozen reference engine leaves it zero.
+  std::uint64_t patches_streamed = 0;
+  /// Noise-source draws consumed by the pixel sweep (shot/thermal/branch
+  /// noise): pixels * draws_per_pixel when noise is enabled, zero on the
+  /// ideal config. A pure function of the layer plan — independent of
+  /// engine_threads by the pre-drawn parallel noise contract.
+  std::uint64_t noise_draws = 0;
   std::uint64_t weight_dac_conversions = 0;
   std::uint64_t recalibrations = 0;    ///< bank retuning episodes
   std::uint64_t banks_built = 0;

@@ -1,11 +1,13 @@
 #include "core/trace.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <ostream>
 
 #include "common/error.hpp"
 #include "common/format.hpp"
 #include "common/mathutil.hpp"
+#include "common/trace_writer.hpp"
 #include "electronics/dram.hpp"
 
 namespace pcnna::core {
@@ -51,6 +53,25 @@ void LayerTrace::print(std::ostream& os, std::size_t max_events) const {
        << "] " << trace_event_name(e.kind) << " loc=" << e.location
        << " units=" << e.units << '\n';
   }
+}
+
+void write_chrome_trace(const LayerTrace& trace, std::ostream& os) {
+  constexpr TraceEventKind kKinds[] = {
+      TraceEventKind::kWeightLoad, TraceEventKind::kRingSettle,
+      TraceEventKind::kDramRead,   TraceEventKind::kInputDac,
+      TraceEventKind::kOpticalPass, TraceEventKind::kAdcSample,
+      TraceEventKind::kSramStage,  TraceEventKind::kDramWrite};
+  TraceWriter writer;
+  writer.set_process_name(0, "pcnna device: " + trace.layer.name);
+  for (std::uint32_t t = 0; t < std::size(kKinds); ++t)
+    writer.set_thread_name(0, t, trace_event_name(kKinds[t]));
+  for (const TraceEvent& e : trace.events) {
+    writer.complete(0, static_cast<std::uint32_t>(e.kind),
+                    trace_event_name(e.kind), "device", e.start, e.end,
+                    {TraceArg::num("location", static_cast<double>(e.location)),
+                     TraceArg::num("units", static_cast<double>(e.units))});
+  }
+  writer.write(os);
 }
 
 TraceSimulator::TraceSimulator(PcnnaConfig config)

@@ -65,6 +65,14 @@ struct LayerTrace {
   void print(std::ostream& os, std::size_t max_events = 40) const;
 };
 
+/// Render the trace as Chrome trace-event JSON (common/trace_writer.hpp):
+/// one thread track per device resource (TraceEventKind), every event a
+/// complete span annotated with its location and unit count. The output
+/// loads in Perfetto / chrome://tracing and shares its format with the
+/// fleet-level runtime telemetry (docs/observability.md), so device- and
+/// fleet-level timelines open in the same viewer.
+void write_chrome_trace(const LayerTrace& trace, std::ostream& os);
+
 class TraceSimulator {
  public:
   explicit TraceSimulator(PcnnaConfig config);

@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/format.hpp"
 #include "common/report.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace pcnna::runtime {
 
@@ -210,8 +211,8 @@ std::vector<RequestResult> BatchRunner::run_open_loop(
   // schedule's PCU assignment, so outputs are still deterministic. With
   // shedding the schedule is always needed: it decides which requests run.
   AdmissionResult admission;
-  if (!pool_.homogeneous() || report || options_.shed_expired ||
-      options_.faults.enabled() ||
+  if (!pool_.homogeneous() || report || options_.telemetry ||
+      options_.shed_expired || options_.faults.enabled() ||
       options_.dispatch == DispatchPolicy::kPipeline)
     admission = simulate_admission_result(arrivals, slos, models);
 
@@ -226,14 +227,18 @@ std::vector<RequestResult> BatchRunner::run_open_loop(
   for (const RequestLoss& l : admission.fault.losses)
     results[static_cast<std::size_t>(l.id)].failed = true;
 
-  if (report) {
+  if (report || options_.telemetry) {
     OpenLoopReport r = summarize_schedule(admission, arrivals);
     for (const RequestResult& result : results) r.total_energy += result.energy;
     r.energy_per_request =
         batch == 0 ? 0.0 : r.total_energy / static_cast<double>(batch);
     r.wall_seconds =
         std::chrono::duration<double>(wall_end - wall_start).count();
-    *report = std::move(r);
+    if (options_.telemetry) {
+      options_.telemetry->record_results(results);
+      options_.telemetry->record_report(r);
+    }
+    if (report) *report = std::move(r);
   }
   return results;
 }
@@ -269,6 +274,7 @@ OpenLoopReport BatchRunner::simulate_open_loop(const ArrivalSchedule& arrivals,
                              ? 0.0
                              : r.total_energy /
                                    static_cast<double>(r.requests);
+  if (options_.telemetry) options_.telemetry->record_report(r);
   return r;
 }
 
@@ -297,6 +303,7 @@ AdmissionResult BatchRunner::simulate_admission_result(
   admission.shed_expired = options_.shed_expired;
   admission.autoscaler = options_.autoscaler;
   admission.faults = options_.faults;
+  admission.telemetry = options_.telemetry;
   return pool_.simulate_admission(queue, admission);
 }
 
@@ -630,20 +637,32 @@ void BatchRunner::print_report(const OpenLoopReport& report, std::ostream& os,
                    std::to_string(report.fault.crash_losses)});
     table.add_row({"transient corruptions",
                    std::to_string(report.fault.transient_corruptions)});
-    table.add_row({"retries", std::to_string(report.fault.retries)});
-    table.add_row({"recovered requests",
-                   std::to_string(report.fault.recovered_requests)});
+    // Retry / quarantine rows only when the machinery actually acted:
+    // a fault-blind run (health_aware == false) injects faults but never
+    // retries, quarantines, or repairs — printing those all-zero rows
+    // suggests the feature ran when it was structurally disabled.
+    if (report.fault.retries > 0) {
+      table.add_row({"retries", std::to_string(report.fault.retries)});
+      table.add_row({"recovered requests",
+                     std::to_string(report.fault.recovered_requests)});
+    }
     table.add_row({"failed requests",
                    std::to_string(report.failed_requests)});
-    table.add_row({"quarantines",
-                   std::to_string(report.fault.quarantines)});
-    table.add_row({"repairs",
-                   std::to_string(report.fault.repairs) + " (" +
-                       format_time(report.fault.repair_time) + ")"});
-    table.add_row({"plan epoch bumps",
-                   std::to_string(report.fault.plan_epoch_bumps)});
-    table.add_row({"retry latency p99",
-                   format_time(report.retry_latency.p99)});
+    if (report.fault.quarantines + report.fault.repairs +
+            report.fault.plan_epoch_bumps >
+        0) {
+      table.add_row({"quarantines",
+                     std::to_string(report.fault.quarantines)});
+      table.add_row({"repairs",
+                     std::to_string(report.fault.repairs) + " (" +
+                         format_time(report.fault.repair_time) + ")"});
+      table.add_row({"plan epoch bumps",
+                     std::to_string(report.fault.plan_epoch_bumps)});
+    }
+    if (report.retry_latency.count > 0) {
+      table.add_row({"retry latency p99",
+                     format_time(report.retry_latency.p99)});
+    }
   }
   if (report.autoscaler.scale_ups > 0 || report.autoscaler.scale_downs > 0 ||
       (report.autoscaler.mean_active > 0.0 &&

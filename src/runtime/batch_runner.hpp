@@ -91,6 +91,12 @@ struct BatchRunnerOptions {
   /// quarantine/repair in the admission loop. The default (empty schedule)
   /// keeps every serving path bit-identical to a fault-free build.
   FaultOptions faults;
+  /// Opt-in observability (runtime/telemetry.hpp). Borrowed; may be null
+  /// (the default — telemetry off). When set, open-loop runs record
+  /// per-request spans, dispatch/engine metrics, and the finished report
+  /// into it; every schedule, output, and report stays bitwise identical
+  /// either way. One Telemetry per concurrently running fleet.
+  Telemetry* telemetry = nullptr;
   /// Base seed; per-request engine seeds derive from it (SplitMix64), so
   /// the whole batch is reproducible from this one number.
   std::uint64_t seed = 1;

@@ -160,6 +160,10 @@ StageHandoff Pcu::serve_stage(std::uint32_t model, std::size_t op_begin,
   handoff.activation = std::move(run.output);
   handoff.rng = accelerator_.engine_rng_state();
   handoff.energy = energy_so_far + run.total_energy;
+  for (const core::LayerRunReport& l : run.conv_layers)
+    handoff.work.add(l.engine);
+  for (const core::LayerRunReport& l : run.fc_layers)
+    handoff.work.add(l.engine);
   stats_.energy += run.total_energy;
   return handoff;
 }
@@ -184,6 +188,10 @@ RequestResult Pcu::serve(const InferenceRequest& request,
   result.energy = run.total_energy;
   result.model_id = request.model_id;
   result.tenant = request.tenant;
+  for (const core::LayerRunReport& l : run.conv_layers)
+    result.work.add(l.engine);
+  for (const core::LayerRunReport& l : run.fc_layers)
+    result.work.add(l.engine);
 
   stats_.requests_served += 1;
   stats_.busy_time_serial += slot.request_time_serial;

@@ -66,6 +66,37 @@ enum class WarmupPolicy {
 
 const char* warmup_policy_name(WarmupPolicy policy);
 
+/// Deterministic engine-phase work counters for one request, summed over
+/// every layer of its network run (core::EngineStats per layer). A pure
+/// function of (model, config, request seed) — independent of which PCU
+/// served the request on a homogeneous fleet, of engine_threads, and of
+/// host scheduling — so fleet totals summed in request-id order are
+/// bit-stable. All zeros when values were not simulated (timing-only
+/// serving never runs the engine).
+struct EngineWork {
+  std::uint64_t patches_streamed = 0; ///< pixel-sweep patches
+  std::uint64_t bank_passes = 0;      ///< optical weight-bank passes
+  std::uint64_t noise_draws = 0;      ///< noise-source draws consumed
+  std::uint64_t dac_conversions = 0;  ///< input-DAC samples
+  std::uint64_t adc_conversions = 0;  ///< output samples digitized
+
+  void add(const core::EngineStats& stats) {
+    patches_streamed += stats.patches_streamed;
+    bank_passes += stats.optical_passes;
+    noise_draws += stats.noise_draws;
+    dac_conversions += stats.dac_conversions;
+    adc_conversions += stats.adc_conversions;
+  }
+  EngineWork& operator+=(const EngineWork& other) {
+    patches_streamed += other.patches_streamed;
+    bank_passes += other.bank_passes;
+    noise_draws += other.noise_draws;
+    dac_conversions += other.dac_conversions;
+    adc_conversions += other.adc_conversions;
+    return *this;
+  }
+};
+
 /// Completed inference for one request. All times are simulated hardware
 /// seconds and all energies simulated joules; nothing here depends on the
 /// host clock.
@@ -99,6 +130,9 @@ struct RequestResult {
   /// Owning tenant, carried through from the InferenceRequest (valid on
   /// shed placeholders too).
   std::uint32_t tenant = 0;
+  /// Engine-phase work counters of the functional run (zeros when values
+  /// were not simulated, and on shed/failed placeholders).
+  EngineWork work;
 };
 
 /// Serving constants for one contiguous op range of a model — one pipeline
@@ -131,6 +165,10 @@ struct StageHandoff {
   Rng::State rng;
   /// Accumulated simulated energy across the stages run so far [J].
   double energy = 0.0;
+  /// Engine-phase work counters of *this* stage's range only; the
+  /// pipelined worker accumulates them across the chain into the final
+  /// RequestResult (mirroring how `energy` accumulates via energy_so_far).
+  EngineWork work;
 };
 
 /// Cumulative counters for one PCU (wall-clock sharding outcome).

@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "core/planner.hpp"
 #include "core/stage_partitioner.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace pcnna::runtime {
 
@@ -384,6 +385,7 @@ std::vector<RequestResult> PcuPool::serve_pipelined(
             s.model, span.op_begin, span.op_end, *input, rng,
             requests[s.id].seed, e.stage == 0 ? 0.0 : in.energy,
             simulate_values);
+        if (e.stage > 0) out.work += in.work; // chain the work counters
         if (e.stage + 1 < s.stages.size()) {
           chains[e.sched][e.stage].set_value(std::move(out));
         } else {
@@ -394,6 +396,7 @@ std::vector<RequestResult> PcuPool::serve_pipelined(
           r.service_time_overlapped =
               pcus_[s.pcu].request_interval_overlapped(s.model);
           r.energy = out.energy;
+          r.work = out.work;
         }
         done += 1;
       }
@@ -500,6 +503,10 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
                   "simulate_admission needs a closed request stream");
   const bool double_buffer = options.double_buffer;
   const DispatchPolicy policy = options.policy;
+  // Opt-in observability. Strictly read-only hooks: telemetry never feeds
+  // anything back into the loop, so the schedule is bitwise identical with
+  // or without it (pinned by the telemetry property tests).
+  Telemetry* const telemetry = options.telemetry;
 
   // Resolve the autoscaler envelope against the pool size.
   const AutoscalerPolicy& scaler = options.autoscaler;
@@ -802,6 +809,7 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
     result.schedule.push_back({r.id, p, r.arrival, start, completion, warmup,
                                r.tenant, r.priority, r.deadline, r.model,
                                swap, swapped, r.attempts});
+    if (telemetry) telemetry->on_dispatch(swapped, /*pipelined=*/false);
     if (fault_active) {
       cancelled.push_back(0);
       const std::size_t idx = result.schedule.size() - 1;
@@ -896,6 +904,7 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
       }
     }
     result.autoscaler.mean_active = static_cast<double>(pcus_.size());
+    if (telemetry) telemetry->record_admission(result, *this, options);
     return result;
   }
 
@@ -1377,6 +1386,7 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
     // request gets its chance. On a single-model stream nothing ever
     // defers (the free event guarantees a free capable PCU), so this loop
     // acts on *pending.begin() exactly like the pre-multi-model code.
+    if (telemetry) telemetry->on_queue_depth(now, pending.size());
     bool acted = false;
     for (auto it = pending.begin(); it != pending.end(); ++it) {
       const PendingRequest r = *it;
@@ -1480,6 +1490,8 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
             result.pipeline.pipelined_requests += 1;
             result.pipeline.stage_spans +=
                 result.schedule.back().stages.size();
+            if (telemetry)
+              telemetry->on_dispatch(/*swapped=*/false, /*pipelined=*/true);
             result.pipeline.pin_time += total_pin;
             result.pipeline.handoff_time += total_handoff;
             if (fault_active) {
@@ -1709,6 +1721,7 @@ AdmissionResult PcuPool::simulate_admission(RequestQueue& queue,
               : 1.0;
     }
   }
+  if (telemetry) telemetry->record_admission(result, *this, options);
   return result;
 }
 

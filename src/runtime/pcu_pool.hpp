@@ -44,6 +44,8 @@
 
 namespace pcnna::runtime {
 
+class Telemetry;
+
 /// Construction recipe for one PCU of a (possibly heterogeneous) fleet.
 struct PcuSpec {
   /// This PCU's hardware model: ring/WDM budgets, DAC/ADC counts,
@@ -272,6 +274,11 @@ struct AdmissionOptions {
   /// run without fault machinery for every dispatch policy. A non-empty
   /// schedule forces the event-driven admission mode.
   FaultOptions faults;
+  /// Opt-in observability (runtime/telemetry.hpp). Borrowed; may be null
+  /// (the default — telemetry off). When set, the loop feeds it read-only
+  /// hooks and records the finished result; the schedule itself is
+  /// bitwise identical either way (observation, not perturbation).
+  Telemetry* telemetry = nullptr;
 };
 
 /// One load-shedding decision: the request that was rejected and when.
